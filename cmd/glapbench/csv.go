@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	glapsim "github.com/glap-sim/glap"
+)
+
+// writeCSVDir dumps every figure's data as CSV files into dir for external
+// plotting (one file per artifact, matching the printed tables).
+func writeCSVDir(dir string, grid glapsim.Grid, cells map[glapsim.Cell]*glapsim.CellStats, order []glapsim.Cell, conv []*glapsim.ConvergenceResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if conv != nil {
+		if err := writeCSV(filepath.Join(dir, "figure5_convergence.csv"), convergenceRows(conv)); err != nil {
+			return err
+		}
+	}
+	files := map[string][][]string{
+		"figure6_packing.csv":    f6Rows(cells, order),
+		"figure7_overloaded.csv": f7Rows(cells, order),
+		"figure8_migrations.csv": f8Rows(cells, order),
+		"figure9_cumulative.csv": f9Rows(grid, cells, order),
+		"figure10_energy.csv":    f10Rows(cells, order),
+		"table1_slav.csv":        t1Rows(grid, cells),
+		"extra_energy_esv.csv":   energyRows(cells, order),
+	}
+	for name, rows := range files {
+		if err := writeCSV(filepath.Join(dir, name), rows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeCSV(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+
+func convergenceRows(conv []*glapsim.ConvergenceResult) [][]string {
+	rows := [][]string{{"round", "phase"}}
+	for _, r := range conv {
+		rows[0] = append(rows[0], fmt.Sprintf("ratio%d", r.Ratio))
+	}
+	if len(conv) == 0 {
+		return rows
+	}
+	for i, round := range conv[0].Rounds {
+		phase := "WOG"
+		if round >= conv[0].AggStart {
+			phase = "WG"
+		}
+		row := []string{strconv.Itoa(round), phase}
+		for _, r := range conv {
+			if i < len(r.Cosine) {
+				row = append(row, ftoa(r.Cosine[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func f6Rows(cells map[glapsim.Cell]*glapsim.CellStats, order []glapsim.Cell) [][]string {
+	rows := [][]string{{"cell", "frac_overloaded_mean", "active_median", "bfd_baseline_median"}}
+	for _, c := range order {
+		s := cells[c]
+		rows = append(rows, []string{c.String(), ftoa(s.FracOverloaded.Mean), ftoa(s.Active.Median), ftoa(s.BFDBaseline.Median)})
+	}
+	return rows
+}
+
+func f7Rows(cells map[glapsim.Cell]*glapsim.CellStats, order []glapsim.Cell) [][]string {
+	rows := [][]string{{"cell", "median", "p10", "p90", "mean"}}
+	for _, c := range order {
+		s := cells[c]
+		rows = append(rows, []string{c.String(), ftoa(s.Overloaded.Median), ftoa(s.Overloaded.P10), ftoa(s.Overloaded.P90), ftoa(s.Overloaded.Mean)})
+	}
+	return rows
+}
+
+func f8Rows(cells map[glapsim.Cell]*glapsim.CellStats, order []glapsim.Cell) [][]string {
+	rows := [][]string{{"cell", "per_round_median", "per_round_p10", "per_round_p90", "total_median"}}
+	for _, c := range order {
+		s := cells[c]
+		rows = append(rows, []string{c.String(), ftoa(s.MigrationsPerRound.Median), ftoa(s.MigrationsPerRound.P10), ftoa(s.MigrationsPerRound.P90), ftoa(s.TotalMigrations.Median)})
+	}
+	return rows
+}
+
+func f9Rows(grid glapsim.Grid, cells map[glapsim.Cell]*glapsim.CellStats, order []glapsim.Cell) [][]string {
+	size := grid.Sizes[len(grid.Sizes)/2]
+	header := []string{"round"}
+	var series []*glapsim.CellStats
+	for _, c := range order {
+		if c.PMs == size {
+			header = append(header, fmt.Sprintf("%d-%s", c.Ratio, c.Policy))
+			series = append(series, cells[c])
+		}
+	}
+	rows := [][]string{header}
+	if len(series) == 0 {
+		return rows
+	}
+	for i := range series[0].CumMigrations {
+		row := []string{strconv.Itoa(i + 1)}
+		for _, s := range series {
+			row = append(row, ftoa(s.CumMigrations[i]))
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func f10Rows(cells map[glapsim.Cell]*glapsim.CellStats, order []glapsim.Cell) [][]string {
+	rows := [][]string{{"cell", "energy_kj_median", "p10", "p90"}}
+	for _, c := range order {
+		s := cells[c]
+		rows = append(rows, []string{c.String(), ftoa(s.EnergyKJ.Median), ftoa(s.EnergyKJ.P10), ftoa(s.EnergyKJ.P90)})
+	}
+	return rows
+}
+
+func t1Rows(grid glapsim.Grid, cells map[glapsim.Cell]*glapsim.CellStats) [][]string {
+	header := []string{"size_ratio"}
+	for _, p := range glapsim.Policies {
+		header = append(header, string(p))
+	}
+	rows := [][]string{header}
+	for _, size := range grid.Sizes {
+		for _, ratio := range grid.Ratios {
+			row := []string{fmt.Sprintf("%d-%d", size, ratio)}
+			for _, p := range glapsim.Policies {
+				if s, ok := cells[glapsim.Cell{PMs: size, Ratio: ratio, Policy: p}]; ok {
+					row = append(row, ftoa(s.SLAV.Median))
+				} else {
+					row = append(row, "")
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func energyRows(cells map[glapsim.Cell]*glapsim.CellStats, order []glapsim.Cell) [][]string {
+	rows := [][]string{{"cell", "total_energy_kwh_median", "esv_median"}}
+	for _, c := range order {
+		s := cells[c]
+		rows = append(rows, []string{c.String(), ftoa(s.TotalEnergyKWh.Median), ftoa(s.ESV.Median)})
+	}
+	return rows
+}

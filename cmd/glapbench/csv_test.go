@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	glapsim "github.com/glap-sim/glap"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+// fakeCells builds a minimal cell map for two policies.
+func fakeCells() (glapsim.Grid, map[glapsim.Cell]*glapsim.CellStats, []glapsim.Cell) {
+	grid := glapsim.Grid{Sizes: []int{10}, Ratios: []int{2}}
+	order := []glapsim.Cell{}
+	cells := map[glapsim.Cell]*glapsim.CellStats{}
+	for i, p := range glapsim.Policies {
+		c := glapsim.Cell{PMs: 10, Ratio: 2, Policy: p}
+		cells[c] = &glapsim.CellStats{
+			Cell:            c,
+			Overloaded:      stats.Summarize([]float64{float64(i), float64(i + 1)}),
+			FracOverloaded:  stats.Summarize([]float64{0.1 * float64(i+1)}),
+			Active:          stats.Summarize([]float64{5}),
+			BFDBaseline:     stats.Summarize([]float64{4}),
+			TotalMigrations: stats.Summarize([]float64{100 * float64(i+1)}),
+			EnergyKJ:        stats.Summarize([]float64{1.5}),
+			SLAV:            stats.Summarize([]float64{1e-9 * float64(i+1)}),
+			CumMigrations:   []float64{1, 2, 3},
+		}
+		order = append(order, c)
+	}
+	return grid, cells, order
+}
+
+func TestRowBuilders(t *testing.T) {
+	grid, cells, order := fakeCells()
+	if rows := f6Rows(cells, order); len(rows) != 5 || rows[0][0] != "cell" {
+		t.Fatalf("f6 rows: %v", rows)
+	}
+	if rows := f7Rows(cells, order); len(rows) != 5 {
+		t.Fatalf("f7 rows: %d", len(rows))
+	}
+	if rows := f8Rows(cells, order); rows[1][4] != "100" {
+		t.Fatalf("f8 total: %v", rows[1])
+	}
+	rows := f9Rows(grid, cells, order)
+	if len(rows) != 4 { // header + 3 rounds
+		t.Fatalf("f9 rows: %d", len(rows))
+	}
+	if len(rows[0]) != 1+len(glapsim.Policies) {
+		t.Fatalf("f9 header: %v", rows[0])
+	}
+	if rows := f10Rows(cells, order); rows[1][1] != "1.5" {
+		t.Fatalf("f10: %v", rows[1])
+	}
+	trows := t1Rows(grid, cells)
+	if len(trows) != 2 || len(trows[1]) != 1+len(glapsim.Policies) {
+		t.Fatalf("t1 rows: %v", trows)
+	}
+	if erows := energyRows(cells, order); len(erows) != 5 {
+		t.Fatalf("energy rows: %d", len(erows))
+	}
+}
+
+func TestConvergenceRows(t *testing.T) {
+	conv := []*glapsim.ConvergenceResult{
+		{Ratio: 2, Rounds: []int{0, 10, 20}, Cosine: []float64{0.3, 0.5, 1.0}, AggStart: 15},
+		{Ratio: 3, Rounds: []int{0, 10, 20}, Cosine: []float64{0.4, 0.6, 1.0}, AggStart: 15},
+	}
+	rows := convergenceRows(conv)
+	if len(rows) != 4 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[1][1] != "WOG" || rows[3][1] != "WG" {
+		t.Fatalf("phases wrong: %v", rows)
+	}
+	if rows[3][2] != "1" || rows[3][3] != "1" {
+		t.Fatalf("final similarities wrong: %v", rows[3])
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	grid, cells, order := fakeCells()
+	dir := filepath.Join(t.TempDir(), "out")
+	if err := writeCSVDir(dir, grid, cells, order, nil); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 7 {
+		t.Fatalf("wrote %d files, want 7", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table1_slav.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "10-2") {
+		t.Fatalf("table1 content: %s", data)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []int
+	}{
+		{"100", []int{100}},
+		{"100,200,300", []int{100, 200, 300}},
+		{" 1 , 2 ", []int{1, 2}},
+		{"5,", []int{5}},
+	}
+	for _, tc := range cases {
+		got := parseInts(tc.in)
+		if len(got) != len(tc.want) {
+			t.Fatalf("parseInts(%q) = %v", tc.in, got)
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("parseInts(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		}
+	}
+}

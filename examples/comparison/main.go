@@ -1,0 +1,54 @@
+// Command comparison runs the four consolidation policies of the paper's
+// evaluation — GLAP, EcoCloud, GRMP and PABFD — on one identically
+// configured cluster and prints a head-to-head table of the headline
+// metrics (active/overloaded PMs, migrations, SLAV, migration energy),
+// reproducing the shape of Figures 6-8 and Table I on a laptop-scale setup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	glapsim "github.com/glap-sim/glap"
+)
+
+func main() {
+	pms := flag.Int("pms", 100, "number of physical machines")
+	ratio := flag.Int("ratio", 3, "VM:PM ratio")
+	rounds := flag.Int("rounds", 240, "consolidation rounds (2 min each)")
+	seed := flag.Uint64("seed", 7, "experiment seed")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Printf("policy comparison — %d PMs, %d VMs, %d rounds\n\n", *pms, *pms**ratio, *rounds)
+	fmt.Fprintln(w, "policy\tactive\toverl.(mean)\tmigrations\tenergy(kJ)\tSLAV")
+
+	for _, p := range glapsim.Policies {
+		res, err := glapsim.Run(glapsim.Experiment{
+			PMs: *pms, Ratio: *ratio, Rounds: *rounds, Seed: *seed, Policy: p,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", p, err)
+		}
+		last, _ := res.Series.Last()
+		over := mean(res.Series.OverloadedPerRound())
+		fmt.Fprintf(w, "%s\t%d\t%.1f\t%d\t%.1f\t%.2e\n",
+			p, last.ActivePMs, over, last.Migrations,
+			last.MigrationEnergyJ/1000, res.Series.SLAV)
+	}
+	w.Flush()
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,84 @@
+// Command continuous runs GLAP in the paper's continuous deployment
+// (Section IV-B): the two-phase learning protocol re-runs on a fixed
+// interval while the consolidation component keeps operating on the
+// previous Q-values — and the VM population churns (arrivals and
+// departures), which is exactly the condition under which periodic
+// re-learning pays off.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/glap"
+	"github.com/glap-sim/glap/internal/metrics"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+func main() {
+	pms := flag.Int("pms", 80, "number of physical machines")
+	ratio := flag.Int("ratio", 3, "VM:PM ratio")
+	rounds := flag.Int("rounds", 400, "total rounds")
+	relearn := flag.Int("relearn", 150, "re-learning interval in rounds")
+	churn := flag.Float64("churn", 0.3, "fraction of VMs with dynamic lifecycles")
+	seed := flag.Uint64("seed", 21, "experiment seed")
+	flag.Parse()
+
+	vms := *pms * *ratio
+	set, err := trace.Generate(trace.DefaultGenConfig(vms, *rounds, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cl, err := dc.New(dc.Config{PMs: *pms, Workload: set})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Churn: a fraction of VMs arrives mid-run and may depart early.
+	rng := sim.NewRNG(*seed)
+	churned := 0
+	for _, vm := range cl.VMs {
+		if !rng.Bernoulli(*churn) {
+			continue
+		}
+		arrive := 1 + rng.Intn(*rounds/2)
+		depart := -1
+		if rng.Bool() {
+			depart = arrive + 1 + rng.Intn(*rounds-arrive)
+		}
+		if err := cl.SetLifecycle(vm.ID, arrive, depart); err != nil {
+			log.Fatal(err)
+		}
+		churned++
+	}
+	cl.PlaceRandom(rng.Derive(2).Intn)
+
+	e := sim.NewEngine(*pms, *seed)
+	b, err := policy.Bind(e, cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := glap.Config{LearnRounds: 60, AggRounds: 30}
+	if _, err := glap.InstallContinuous(e, b, cfg, *relearn, glap.PretrainOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	series := metrics.Attach(e, cl, 0)
+	e.RunRounds(*rounds)
+	series.Finalize(cl)
+
+	fmt.Printf("continuous GLAP — %d PMs, %d VMs (%d churned), %d rounds, re-learning every %d\n\n",
+		*pms, vms, churned, *rounds, *relearn)
+	fmt.Println("round  active_pms  overloaded  cum_migrations")
+	for i, s := range series.Samples {
+		if (i+1)%40 != 0 {
+			continue
+		}
+		fmt.Printf("%5d  %10d  %10d  %14d\n",
+			s.Round, s.ActivePMs, s.OverloadedPMs, s.Migrations)
+	}
+	fmt.Printf("\nfinal: present VMs=%d active PMs=%d  SLAV=%.3g  energy=%.1f kWh\n",
+		cl.PresentVMs(), cl.ActivePMs(), series.SLAV, metrics.TotalEnergyKWh(cl))
+}

@@ -1,0 +1,73 @@
+// Command energy walks through the migration energy accounting of Figure 10
+// (Equation 3, after Strunk & Dargie): it runs one GLAP simulation with
+// per-migration logging enabled and breaks the energy overhead down by
+// migration duration and VM memory footprint, alongside the cluster's
+// baseline energy consumption — showing why fewer, smaller migrations (not
+// just fewer migrations) minimise overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	glapsim "github.com/glap-sim/glap"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+func main() {
+	pms := flag.Int("pms", 100, "number of physical machines")
+	ratio := flag.Int("ratio", 3, "VM:PM ratio")
+	rounds := flag.Int("rounds", 240, "number of rounds")
+	seed := flag.Uint64("seed", 9, "experiment seed")
+	flag.Parse()
+
+	res, err := glapsim.Run(glapsim.Experiment{
+		PMs: *pms, Ratio: *ratio, Rounds: *rounds, Seed: *seed,
+		Policy: glapsim.PolicyGLAP, LogMigrations: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mlog := res.Cluster.MigrationLog()
+	fmt.Printf("energy accounting — %d PMs, %d VMs, %d rounds, %d migrations\n\n",
+		*pms, *pms**ratio, *rounds, len(mlog))
+
+	var durations, energies []float64
+	var total float64
+	for _, m := range mlog {
+		durations = append(durations, m.Seconds)
+		energies = append(energies, m.EnergyJ)
+		total += m.EnergyJ
+	}
+	ds := stats.Summarize(durations)
+	es := stats.Summarize(energies)
+	fmt.Printf("migration duration (s):   median=%.3f p10=%.3f p90=%.3f\n", ds.Median, ds.P10, ds.P90)
+	fmt.Printf("per-migration energy (J): median=%.2f p10=%.2f p90=%.2f\n", es.Median, es.P10, es.P90)
+	fmt.Printf("total migration overhead: %.1f kJ\n", total/1000)
+
+	var baseline float64
+	for _, pm := range res.Cluster.PMs {
+		baseline += pm.EnergyJ()
+	}
+	fmt.Printf("baseline (servers) energy: %.1f kJ\n", baseline/1000)
+	fmt.Printf("overhead share:            %.4f%%\n", 100*total/baseline)
+
+	// The paper's Section V-C-6 observation: more migrations do not always
+	// mean more energy — duration (memory footprint) matters.
+	fmt.Println("\nbusiest migration rounds:")
+	perRound := map[int]float64{}
+	for _, m := range mlog {
+		perRound[m.Round] += m.EnergyJ
+	}
+	best, bestE := -1, 0.0
+	for r, e := range perRound {
+		if e > bestE {
+			best, bestE = r, e
+		}
+	}
+	if best >= 0 {
+		fmt.Printf("  round %d: %.1f J across migrations\n", best, bestE)
+	}
+}

@@ -1,0 +1,36 @@
+// Command quickstart is the smallest end-to-end GLAP run: a 100-PM cluster
+// with a 2:1 VM:PM ratio driven by a synthetic Google-cluster-style
+// workload for 240 rounds (8 simulated hours), printing the consolidation
+// outcome and SLA metrics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	glapsim "github.com/glap-sim/glap"
+)
+
+func main() {
+	cfg := glapsim.Experiment{
+		PMs:    100,
+		Ratio:  2,
+		Rounds: 240,
+		Seed:   42,
+		Policy: glapsim.PolicyGLAP,
+	}
+	res, err := glapsim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	last, _ := res.Series.Last()
+	fmt.Println("GLAP quickstart — 100 PMs, 200 VMs, 240 rounds")
+	fmt.Printf("  pre-training convergence (cosine): %.4f\n", res.Pretrain.FinalSimilarity())
+	fmt.Printf("  active PMs at end:                 %d (BFD oracle: %d)\n", last.ActivePMs, res.BFDBaseline)
+	fmt.Printf("  overloaded PMs at end:             %d\n", last.OverloadedPMs)
+	fmt.Printf("  total migrations:                  %d\n", last.Migrations)
+	fmt.Printf("  migration energy overhead:         %.1f kJ\n", last.MigrationEnergyJ/1000)
+	fmt.Printf("  SLAVO=%.6f  SLALM=%.6f  SLAV=%.8f\n",
+		res.Series.SLAVO, res.Series.SLALM, res.Series.SLAV)
+}

@@ -1,0 +1,241 @@
+package glapsim
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/glap-sim/glap/internal/glap"
+	"github.com/glap-sim/glap/internal/metrics"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+// Grid configures a sweep over cluster sizes, VM:PM ratios and policies with
+// repeated replications — the experimental grid of Section V (sizes 500,
+// 1000, 2000 × ratios 2, 3, 4 × 20 repetitions at full paper scale).
+type Grid struct {
+	// Sizes are the cluster sizes (PM counts).
+	Sizes []int
+	// Ratios are the VM:PM ratios.
+	Ratios []int
+	// Rounds is the consolidation-run length.
+	Rounds int
+	// Reps is the number of replications per cell.
+	Reps int
+	// Workers bounds replication parallelism (<= 0: GOMAXPROCS).
+	Workers int
+	// Seed is the experiment master seed.
+	Seed uint64
+	// Policies to evaluate; nil selects all four.
+	Policies []Policy
+	// GLAP overrides the GLAP configuration.
+	GLAP glap.Config
+}
+
+// withDefaults fills zero fields.
+func (g Grid) withDefaults() Grid {
+	if len(g.Sizes) == 0 {
+		g.Sizes = []int{100}
+	}
+	if len(g.Ratios) == 0 {
+		g.Ratios = []int{2, 3, 4}
+	}
+	if g.Rounds == 0 {
+		g.Rounds = 240
+	}
+	if g.Reps == 0 {
+		g.Reps = 5
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	if len(g.Policies) == 0 {
+		g.Policies = Policies
+	}
+	return g
+}
+
+// Cell identifies one grid cell.
+type Cell struct {
+	PMs    int
+	Ratio  int
+	Policy Policy
+}
+
+// String renders e.g. "500-3/glap".
+func (c Cell) String() string { return fmt.Sprintf("%d-%d/%s", c.PMs, c.Ratio, c.Policy) }
+
+// CellStats aggregates one cell's replications into the statistics the
+// paper's figures report (median and 10th/90th percentiles).
+type CellStats struct {
+	Cell Cell
+	Reps int
+
+	// Overloaded summarises per-round overloaded-PM counts pooled across
+	// rounds and replications (Figure 7).
+	Overloaded stats.Summary
+	// FracOverloaded summarises the per-round overloaded/active fraction
+	// (Figure 6).
+	FracOverloaded stats.Summary
+	// Active summarises end-of-run active PM counts across replications
+	// (Figure 6).
+	Active stats.Summary
+	// BFDBaseline summarises the oracle BFD packing across replications.
+	BFDBaseline stats.Summary
+	// MigrationsPerRound summarises per-round migration counts pooled
+	// across rounds and replications (Figure 8).
+	MigrationsPerRound stats.Summary
+	// TotalMigrations summarises end-of-run totals across replications.
+	TotalMigrations stats.Summary
+	// CumMigrations is the per-round cumulative migration count averaged
+	// over replications (Figure 9).
+	CumMigrations []float64
+	// EnergyKJ summarises total migration energy overhead across
+	// replications, in kJ (Figure 10, Eq. 3).
+	EnergyKJ stats.Summary
+	// SLAV summarises the final SLAV metric across replications (Table I).
+	SLAV stats.Summary
+	// SLAVO and SLALM are its factors.
+	SLAVO, SLALM stats.Summary
+	// TotalEnergyKWh summarises total server energy (baseline + migration)
+	// across replications; ESV is energy × SLAV.
+	TotalEnergyKWh stats.Summary
+	ESV            stats.Summary
+}
+
+// RunCell executes all replications of one grid cell and aggregates them.
+func RunCell(g Grid, cell Cell) (*CellStats, error) {
+	g = g.withDefaults()
+	x := Experiment{
+		PMs: cell.PMs, Ratio: cell.Ratio, Rounds: g.Rounds,
+		Seed: cellSeed(g.Seed, cell), Policy: cell.Policy, GLAP: g.GLAP,
+	}
+	results, err := RunReplicated(x, g.Reps, g.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return aggregate(cell, g.Rounds, results), nil
+}
+
+// cellSeed gives each (size, ratio) cell its own seed, shared across
+// policies so comparisons are paired on identical workloads and placements.
+func cellSeed(seed uint64, cell Cell) uint64 {
+	return sim.NewRNG(seed).Derive(uint64(cell.PMs), uint64(cell.Ratio)).Uint64()
+}
+
+func aggregate(cell Cell, rounds int, results []*Result) *CellStats {
+	cs := &CellStats{Cell: cell, Reps: len(results)}
+	var overloaded, frac, active, bfdBase, perRound, totals, energy, slav, slavo, slalm []float64
+	var totalKWh, esv []float64
+	cum := make([]float64, rounds)
+	for _, r := range results {
+		totalKWh = append(totalKWh, metrics.TotalEnergyKWh(r.Cluster))
+		esv = append(esv, metrics.ESV(r.Cluster))
+		overloaded = append(overloaded, r.Series.OverloadedPerRound()...)
+		frac = append(frac, r.Series.FractionOverloaded()...)
+		perRound = append(perRound, r.Series.MigrationsPerRound()...)
+		last, ok := r.Series.Last()
+		if ok {
+			active = append(active, float64(last.ActivePMs))
+			totals = append(totals, float64(last.Migrations))
+			energy = append(energy, last.MigrationEnergyJ/1000)
+		}
+		bfdBase = append(bfdBase, float64(r.BFDBaseline))
+		slav = append(slav, r.Series.SLAV)
+		slavo = append(slavo, r.Series.SLAVO)
+		slalm = append(slalm, r.Series.SLALM)
+		for i, v := range r.Series.CumulativeMigrations() {
+			if i < len(cum) {
+				cum[i] += v / float64(len(results))
+			}
+		}
+	}
+	cs.Overloaded = stats.Summarize(overloaded)
+	cs.FracOverloaded = stats.Summarize(frac)
+	cs.Active = stats.Summarize(active)
+	cs.BFDBaseline = stats.Summarize(bfdBase)
+	cs.MigrationsPerRound = stats.Summarize(perRound)
+	cs.TotalMigrations = stats.Summarize(totals)
+	cs.CumMigrations = cum
+	cs.EnergyKJ = stats.Summarize(energy)
+	cs.SLAV = stats.Summarize(slav)
+	cs.SLAVO = stats.Summarize(slavo)
+	cs.SLALM = stats.Summarize(slalm)
+	cs.TotalEnergyKWh = stats.Summarize(totalKWh)
+	cs.ESV = stats.Summarize(esv)
+	return cs
+}
+
+// RunGrid executes every cell of the grid and returns the aggregated stats
+// keyed by cell, plus the deterministic cell order for presentation.
+func RunGrid(g Grid) (map[Cell]*CellStats, []Cell, error) {
+	g = g.withDefaults()
+	var order []Cell
+	out := make(map[Cell]*CellStats)
+	for _, size := range g.Sizes {
+		for _, ratio := range g.Ratios {
+			for _, p := range g.Policies {
+				cell := Cell{PMs: size, Ratio: ratio, Policy: p}
+				cs, err := RunCell(g, cell)
+				if err != nil {
+					return nil, nil, fmt.Errorf("cell %s: %w", cell, err)
+				}
+				out[cell] = cs
+				order = append(order, cell)
+			}
+		}
+	}
+	return out, order, nil
+}
+
+// ConvergenceResult is the Figure 5 experiment outcome for one VM:PM ratio:
+// the cosine-similarity trajectory across the learning (WOG) and aggregation
+// (WG) phases.
+type ConvergenceResult struct {
+	Ratio  int
+	Rounds []int
+	Cosine []float64
+	// AggStart is the first aggregation-phase round.
+	AggStart int
+}
+
+// RunConvergence reproduces Figure 5: it pre-trains GLAP on clusters of the
+// given size for each ratio, sampling Q-value similarity every measureEvery
+// rounds through both phases.
+func RunConvergence(pms int, ratios []int, cfg glap.Config, seed uint64, measureEvery int) ([]*ConvergenceResult, error) {
+	if len(ratios) == 0 {
+		ratios = []int{2, 3, 4}
+	}
+	if measureEvery <= 0 {
+		measureEvery = 1
+	}
+	var out []*ConvergenceResult
+	for _, ratio := range ratios {
+		x := Experiment{
+			PMs: pms, Ratio: ratio, Rounds: 720,
+			Seed: sim.NewRNG(seed).Derive(uint64(ratio)).Uint64(), Policy: PolicyGLAP,
+		}
+		w, err := workloadFor(x)
+		if err != nil {
+			return nil, err
+		}
+		cl, err := buildCluster(x, w)
+		if err != nil {
+			return nil, err
+		}
+		pre, err := glap.Pretrain(cfg, cl, deriveSeed(x.Seed, 3), glap.PretrainOptions{
+			MeasureEvery: measureEvery,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &ConvergenceResult{
+			Ratio:    ratio,
+			Rounds:   pre.ConvergenceRound,
+			Cosine:   pre.Convergence,
+			AggStart: pre.LearnRounds,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio < out[j].Ratio })
+	return out, nil
+}

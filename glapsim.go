@@ -1,0 +1,399 @@
+// Package glapsim is the public facade of the GLAP reproduction: it
+// assembles the simulation kernel, data-center model, workload generator,
+// the GLAP protocol stack and the three comparison baselines into one-call
+// experiment runners.
+//
+// A minimal run:
+//
+//	cfg := glapsim.Experiment{PMs: 100, Ratio: 2, Rounds: 120, Seed: 1, Policy: glapsim.PolicyGLAP}
+//	res, err := glapsim.Run(cfg)
+//
+// res.Series then holds the per-round metrics the paper's figures are drawn
+// from, and res.Series.SLAV the Table I metric.
+package glapsim
+
+import (
+	"fmt"
+
+	"github.com/glap-sim/glap/internal/baselines/bfd"
+	"github.com/glap-sim/glap/internal/baselines/ecocloud"
+	"github.com/glap-sim/glap/internal/baselines/grmp"
+	"github.com/glap-sim/glap/internal/baselines/pabfd"
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/glap"
+	"github.com/glap-sim/glap/internal/gossip"
+	"github.com/glap-sim/glap/internal/metrics"
+	"github.com/glap-sim/glap/internal/newscast"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/topology"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+// Policy selects the consolidation algorithm under test.
+type Policy string
+
+// The four policies of the evaluation plus None (no consolidation).
+const (
+	PolicyGLAP     Policy = "glap"
+	PolicyGRMP     Policy = "grmp"
+	PolicyEcoCloud Policy = "ecocloud"
+	PolicyPABFD    Policy = "pabfd"
+	PolicyNone     Policy = "none"
+)
+
+// Policies lists the four evaluated policies in the paper's order.
+var Policies = []Policy{PolicyGLAP, PolicyEcoCloud, PolicyGRMP, PolicyPABFD}
+
+// Overlay selects the peer-sampling service.
+type Overlay string
+
+// The two peer-sampling overlays shipped with the kernel.
+const (
+	OverlayCyclon   Overlay = "cyclon"
+	OverlayNewscast Overlay = "newscast"
+)
+
+// overlayFor registers the configured overlay on e and returns the matching
+// peer selector (nil means the protocol defaults, which are Cyclon-based).
+func overlayFor(x Experiment, e *sim.Engine) (gossip.PeerSelector, error) {
+	switch x.Overlay {
+	case "", OverlayCyclon:
+		e.Register(cyclon.New(x.CyclonViewSize, x.CyclonShuffleLen))
+		return nil, nil
+	case OverlayNewscast:
+		e.Register(newscast.New(x.CyclonViewSize))
+		return newscast.Selector, nil
+	default:
+		return nil, fmt.Errorf("glapsim: unknown overlay %q", x.Overlay)
+	}
+}
+
+// Experiment configures one simulation run (one policy, one cluster size,
+// one VM:PM ratio). The same Experiment with the same Seed produces the
+// same workload and the same initial VM placement regardless of Policy, so
+// cross-policy comparisons are paired, as in Section V-A.
+type Experiment struct {
+	// PMs is the cluster size (the paper: 500, 1000, 2000).
+	PMs int
+	// Ratio is the VM:PM ratio (the paper: 2, 3, 4).
+	Ratio int
+	// Rounds is the number of consolidation rounds (the paper: 720 rounds
+	// of 2 minutes = 24 h).
+	Rounds int
+	// Seed fixes workload, placement and all protocol randomness.
+	Seed uint64
+	// Policy selects the algorithm.
+	Policy Policy
+
+	// Workload overrides the generated trace (optional). It must contain
+	// exactly PMs*Ratio VMs.
+	Workload *trace.Set
+	// TraceConfig overrides the synthetic generator's calibration (the
+	// future-work bursty-workload evaluation raises the bursty/spiky mix
+	// this way). VMs, Rounds and Seed are filled from the experiment.
+	TraceConfig *trace.GenConfig
+	// GLAP overrides the GLAP configuration (zero fields default).
+	GLAP glap.Config
+	// PretrainedTables skips GLAP pre-training and uses this checkpointed
+	// Q store directly (see glap.SaveTables / glap.LoadTables).
+	PretrainedTables *glap.NodeTables
+	// Pretrain tunes GLAP pre-training measurement (optional).
+	Pretrain glap.PretrainOptions
+	// Overlay selects the peer-sampling service for the distributed
+	// policies: "cyclon" (default, the paper's choice) or "newscast".
+	// GLAP pre-training always runs over Cyclon; the overlay choice
+	// applies to the consolidation run, where peer sampling actually
+	// shapes the outcome.
+	Overlay Overlay
+	// CyclonViewSize / CyclonShuffleLen configure the overlay for the
+	// distributed policies (defaults 20 / 8; for Newscast only the view
+	// size applies).
+	CyclonViewSize   int
+	CyclonShuffleLen int
+	// LogMigrations keeps per-migration records on the cluster.
+	LogMigrations bool
+	// Heterogeneous builds a mixed-hardware cluster (alternating HP
+	// ProLiant ML110 G5 and G4 machines) instead of the paper's homogeneous
+	// G5 fleet, which makes PABFD's power-aware placement non-trivial.
+	Heterogeneous bool
+	// VMChurn is the fraction of VMs with a dynamic lifecycle (late
+	// arrival, possibly early departure) instead of the paper's fixed
+	// population. 0 disables churn.
+	VMChurn float64
+
+	// RackSize enables the network topology model (the paper's future-work
+	// extension): PMs per rack; 0 disables it. With the model enabled,
+	// cross-rack migrations see oversubscribed bandwidth and the run
+	// reports switch energy (Result.Network).
+	RackSize int
+	// RacksPerPod configures the aggregation tier (default 4).
+	RacksPerPod int
+	// TopologyAware switches GLAP's consolidation to locality-aware peer
+	// selection (same rack, then same pod, then anywhere), so racks drain
+	// and their switches sleep. Only meaningful with PolicyGLAP and
+	// RackSize > 0.
+	TopologyAware bool
+}
+
+// Validate reports configuration errors.
+func (x *Experiment) Validate() error {
+	if x.PMs <= 1 {
+		return fmt.Errorf("glapsim: PMs must be > 1, got %d", x.PMs)
+	}
+	if x.Ratio <= 0 {
+		return fmt.Errorf("glapsim: Ratio must be positive, got %d", x.Ratio)
+	}
+	if x.Rounds <= 0 {
+		return fmt.Errorf("glapsim: Rounds must be positive, got %d", x.Rounds)
+	}
+	switch x.Policy {
+	case PolicyGLAP, PolicyGRMP, PolicyEcoCloud, PolicyPABFD, PolicyNone:
+	default:
+		return fmt.Errorf("glapsim: unknown policy %q", x.Policy)
+	}
+	if x.Workload != nil && x.Workload.NumVMs() != x.PMs*x.Ratio {
+		return fmt.Errorf("glapsim: workload has %d VMs, want %d", x.Workload.NumVMs(), x.PMs*x.Ratio)
+	}
+	if x.RackSize < 0 || x.RacksPerPod < 0 {
+		return fmt.Errorf("glapsim: negative topology sizes")
+	}
+	if x.TopologyAware && x.RackSize == 0 {
+		return fmt.Errorf("glapsim: TopologyAware requires RackSize > 0")
+	}
+	if x.VMChurn < 0 || x.VMChurn > 1 {
+		return fmt.Errorf("glapsim: VMChurn %g out of [0,1]", x.VMChurn)
+	}
+	return nil
+}
+
+// tree builds the experiment's topology model, or nil when disabled.
+func (x *Experiment) tree() (*topology.Tree, error) {
+	if x.RackSize == 0 {
+		return nil, nil
+	}
+	perPod := x.RacksPerPod
+	if perPod == 0 {
+		perPod = 4
+	}
+	return topology.New(x.PMs, x.RackSize, perPod)
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Series holds the per-round samples and final SLA metrics.
+	Series *metrics.Series
+	// Cluster is the final cluster state (placement, accounting).
+	Cluster *dc.Cluster
+	// Pretrain is the GLAP pre-training outcome (nil for other policies).
+	Pretrain *glap.PretrainResult
+	// BFDBaseline is the oracle Best-Fit-Decreasing packing of the
+	// last-round demand (the Figure 6 baseline).
+	BFDBaseline int
+	// Network holds switch activity and energy when the topology model is
+	// enabled (nil otherwise).
+	Network *metrics.NetworkSeries
+}
+
+// workloadFor returns the experiment's workload, generating it when absent.
+func workloadFor(x Experiment) (*trace.Set, error) {
+	if x.Workload != nil {
+		return x.Workload, nil
+	}
+	gen := trace.DefaultGenConfig(x.PMs*x.Ratio, x.Rounds, deriveSeed(x.Seed, 1))
+	if x.TraceConfig != nil {
+		gen = *x.TraceConfig
+		gen.VMs = x.PMs * x.Ratio
+		gen.Rounds = x.Rounds
+		gen.Seed = deriveSeed(x.Seed, 1)
+	}
+	return trace.Generate(gen)
+}
+
+// buildCluster assembles a cluster with the experiment's deterministic
+// initial placement. Calling it twice yields identically placed clusters.
+func buildCluster(x Experiment, w *trace.Set) (*dc.Cluster, error) {
+	cfg := dc.Config{PMs: x.PMs, Workload: w, LogMigrations: x.LogMigrations}
+	if x.Heterogeneous {
+		cfg.PMSpecFor = func(pm int) dc.PMSpec {
+			if pm%2 == 1 {
+				return dc.HPProLiantML110G4
+			}
+			return dc.HPProLiantML110G5
+		}
+	}
+	if tree, err := x.tree(); err != nil {
+		return nil, err
+	} else if tree != nil {
+		cfg.MigrationBandwidth = glap.BandwidthModel(tree, dc.HPProLiantML110G5.NetBandwidthMBps)
+	}
+	c, err := dc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if x.VMChurn > 0 {
+		churnRNG := sim.NewRNG(deriveSeed(x.Seed, 5))
+		for _, vm := range c.VMs {
+			if !churnRNG.Bernoulli(x.VMChurn) {
+				continue
+			}
+			arrive := 1 + churnRNG.Intn(x.Rounds/2+1)
+			depart := -1
+			if churnRNG.Bool() {
+				depart = arrive + 1 + churnRNG.Intn(x.Rounds-arrive)
+			}
+			if err := c.SetLifecycle(vm.ID, arrive, depart); err != nil {
+				return nil, err
+			}
+		}
+	}
+	placeRNG := sim.NewRNG(deriveSeed(x.Seed, 2))
+	c.PlaceRandom(placeRNG.Intn)
+	return c, nil
+}
+
+// deriveSeed mixes a purpose tag into an experiment seed.
+func deriveSeed(seed uint64, purpose uint64) uint64 {
+	return sim.NewRNG(seed).Derive(purpose).Uint64()
+}
+
+// Run executes one replication of the experiment and returns its result.
+func Run(x Experiment) (*Result, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	w, err := workloadFor(x)
+	if err != nil {
+		return nil, err
+	}
+
+	var pretrain *glap.PretrainResult
+	shared := x.PretrainedTables
+	if x.Policy == PolicyGLAP && shared == nil {
+		// Pre-train on a separate, identically placed cluster so the
+		// comparison run replays the same trace window as the baselines
+		// (the paper executes "700 more rounds to calculate Q-values
+		// beforehand").
+		preCluster, err := buildCluster(x, w)
+		if err != nil {
+			return nil, err
+		}
+		opts := x.Pretrain
+		if opts.CyclonViewSize == 0 {
+			opts.CyclonViewSize = x.CyclonViewSize
+		}
+		if opts.CyclonShuffleLen == 0 {
+			opts.CyclonShuffleLen = x.CyclonShuffleLen
+		}
+		pretrain, err = glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, 3), opts)
+		if err != nil {
+			return nil, err
+		}
+		shared, err = glap.SharedTables(pretrain)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	c, err := buildCluster(x, w)
+	if err != nil {
+		return nil, err
+	}
+	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
+	b, err := policy.Bind(e, c)
+	if err != nil {
+		return nil, err
+	}
+
+	tree, err := x.tree()
+	if err != nil {
+		return nil, err
+	}
+
+	switch x.Policy {
+	case PolicyGLAP:
+		sel, err := overlayFor(x, e)
+		if err != nil {
+			return nil, err
+		}
+		cons := &glap.ConsolidateProtocol{
+			B:                 b,
+			Tables:            func(e *sim.Engine, n *sim.Node) *glap.NodeTables { return shared },
+			Select:            sel,
+			CurrentDemandOnly: x.GLAP.CurrentDemandOnly,
+		}
+		if x.TopologyAware && tree != nil {
+			cons.Select = glap.LocalitySelector(tree)
+			cons.Topo = tree
+		}
+		e.Register(cons)
+	case PolicyGRMP:
+		sel, err := overlayFor(x, e)
+		if err != nil {
+			return nil, err
+		}
+		p := grmp.New(b)
+		p.Select = sel
+		e.Register(p)
+	case PolicyEcoCloud:
+		sel, err := overlayFor(x, e)
+		if err != nil {
+			return nil, err
+		}
+		p := ecocloud.New(b)
+		p.Select = sel
+		e.Register(p)
+	case PolicyPABFD:
+		pabfd.Install(e, b)
+	case PolicyNone:
+		// Workload replay only; no consolidation.
+	}
+
+	series := metrics.Attach(e, c, 0)
+	var network *metrics.NetworkSeries
+	if tree != nil {
+		network = metrics.AttachNetwork(e, c, tree, topology.DefaultSwitchSpec)
+	}
+	e.RunRounds(x.Rounds)
+	series.Finalize(c)
+
+	return &Result{
+		Series:      series,
+		Cluster:     c,
+		Pretrain:    pretrain,
+		BFDBaseline: bfd.MinActivePMs(c, 1e-6),
+		Network:     network,
+	}, nil
+}
+
+// RunReplicated executes reps independent replications of the experiment in
+// parallel (the paper repeats every experiment 20 times) and returns the
+// per-replication results. workers <= 0 uses GOMAXPROCS. Replication r uses
+// seed Seed+r-derived streams but the identical workload and placement
+// question is per replication: each replication gets its own workload and
+// placement, matching the paper's repeated random setups.
+func RunReplicated(x Experiment, reps, workers int) ([]*Result, error) {
+	if err := x.Validate(); err != nil {
+		return nil, err
+	}
+	type out struct {
+		res *Result
+		err error
+	}
+	results := sim.RunReplications(reps, workers, func(rep int) out {
+		xr := x
+		xr.Seed = sim.ReplicationSeed(x.Seed, rep)
+		xr.Workload = nil // regenerate per replication
+		r, err := Run(xr)
+		return out{r, err}
+	})
+	final := make([]*Result, len(results))
+	for i, o := range results {
+		if o.err != nil {
+			return nil, fmt.Errorf("glapsim: replication %d: %w", i, o.err)
+		}
+		final[i] = o.res
+	}
+	return final, nil
+}

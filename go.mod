@@ -1,0 +1,3 @@
+module github.com/glap-sim/glap
+
+go 1.22

@@ -1,0 +1,108 @@
+package grmp
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+func constCluster(t *testing.T, pms, vms int, cpu, mem float64) *dc.Cluster {
+	t.Helper()
+	var b bytes.Buffer
+	b.WriteString("vm,round,cpu,mem\n")
+	for vm := 0; vm < vms; vm++ {
+		for r := 0; r < 5; r++ {
+			fmt.Fprintf(&b, "%d,%d,%g,%g\n", vm, r, cpu, mem)
+		}
+	}
+	set, err := trace.LoadCSV(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dc.New(dc.Config{PMs: pms, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	c.PlaceRandom(rng.Intn)
+	return c
+}
+
+func install(t *testing.T, cl *dc.Cluster, seed uint64) *sim.Engine {
+	t.Helper()
+	e := sim.NewEngine(len(cl.PMs), seed)
+	b, err := policy.Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Register(cyclon.New(6, 3))
+	e.Register(New(b))
+	return e
+}
+
+func TestConsolidates(t *testing.T) {
+	cl := constCluster(t, 12, 12, 0.2, 0.2)
+	e := install(t, cl, 1)
+	e.RunRounds(30)
+	if cl.ActivePMs() >= 12 {
+		t.Fatalf("no consolidation: %d active", cl.ActivePMs())
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRespectsStaticThreshold(t *testing.T) {
+	// With constant demand, every acceptance kept the destination at or
+	// below 0.8 on both resources — so the final state must too.
+	cl := constCluster(t, 10, 20, 0.5, 0.3)
+	e := install(t, cl, 2)
+	e.RunRounds(30)
+	for _, pm := range cl.PMs {
+		if !pm.On() {
+			continue
+		}
+		u := cl.CurUtil(pm)
+		if u[dc.CPU] > 0.8+1e-9 || u[dc.Mem] > 0.8+1e-9 {
+			t.Fatalf("PM %d packed beyond threshold: %v", pm.ID, u)
+		}
+	}
+}
+
+func TestShedsOverload(t *testing.T) {
+	cl := constCluster(t, 3, 6, 1.0, 0.2)
+	// Overload PM 0 with all six VMs (3000 > 2660 MIPS).
+	for _, vm := range cl.VMs {
+		if vm.Host != 0 {
+			if err := cl.Migrate(vm, cl.PMs[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !cl.Overloaded(cl.PMs[0]) {
+		t.Fatal("setup: PM 0 should be overloaded")
+	}
+	e := install(t, cl, 3)
+	e.RunRounds(10)
+	if cl.Overloaded(cl.PMs[0]) {
+		t.Fatalf("PM 0 still overloaded: %v", cl.CurUtil(cl.PMs[0]))
+	}
+}
+
+func TestAggressiveSwitchOff(t *testing.T) {
+	// GRMP's defining trait: it packs hard. 24 VMs at 0.3 CPU and 0.2
+	// memory: 0.3*500=150 MIPS each; threshold 0.8 allows 2128 MIPS -> 14
+	// VMs per PM by CPU, memory allows 0.8*4096/123 = 26. 2 PMs suffice.
+	cl := constCluster(t, 12, 24, 0.3, 0.2)
+	e := install(t, cl, 4)
+	e.RunRounds(40)
+	if got := cl.ActivePMs(); got > 3 {
+		t.Fatalf("GRMP left %d PMs active, want <= 3", got)
+	}
+}

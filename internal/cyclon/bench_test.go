@@ -1,0 +1,30 @@
+package cyclon
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// BenchmarkShuffleRound measures one full Cyclon round over 1000 nodes with
+// the paper-scale view (20 entries, 8-entry shuffles).
+func BenchmarkShuffleRound(b *testing.B) {
+	e := sim.NewEngine(1000, 1)
+	e.Register(New(20, 8))
+	e.RunRounds(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+func BenchmarkSelectPeer(b *testing.B) {
+	e := sim.NewEngine(200, 1)
+	e.Register(New(20, 8))
+	e.RunRounds(10)
+	rng := sim.NewRNG(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = SelectPeer(e, e.Node(i%200), rng)
+	}
+}

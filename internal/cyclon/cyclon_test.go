@@ -1,0 +1,205 @@
+package cyclon
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+func runCyclon(t *testing.T, nodes, rounds, view, shuffle int, seed uint64) *sim.Engine {
+	t.Helper()
+	e := sim.NewEngine(nodes, seed)
+	e.Register(New(view, shuffle))
+	e.RunRounds(rounds)
+	return e
+}
+
+func TestViewInvariants(t *testing.T) {
+	const nodes, view = 40, 8
+	e := runCyclon(t, nodes, 30, view, 4, 1)
+	for _, n := range e.Nodes() {
+		v := ViewOf(e, n)
+		if v.Len() > view {
+			t.Fatalf("node %d view size %d > %d", n.ID, v.Len(), view)
+		}
+		if v.Len() == 0 {
+			t.Fatalf("node %d has empty view", n.ID)
+		}
+		seen := map[int]bool{}
+		for _, entry := range v.Entries() {
+			if entry.Peer == n.ID {
+				t.Fatalf("node %d has itself in view", n.ID)
+			}
+			if entry.Peer < 0 || entry.Peer >= nodes {
+				t.Fatalf("node %d has out-of-range peer %d", n.ID, entry.Peer)
+			}
+			if seen[entry.Peer] {
+				t.Fatalf("node %d has duplicate peer %d", n.ID, entry.Peer)
+			}
+			seen[entry.Peer] = true
+			if entry.Age < 0 || entry.Age > 30+1 {
+				t.Fatalf("node %d entry age %d out of range", n.ID, entry.Age)
+			}
+		}
+	}
+}
+
+func TestBootstrapSmallNetwork(t *testing.T) {
+	// View size larger than the network: after bootstrap each view holds
+	// all other nodes; shuffling may transiently drop one (the discarded
+	// oldest target) but views must stay near-complete and non-empty.
+	e := runCyclon(t, 4, 0, 20, 8, 2)
+	for _, n := range e.Nodes() {
+		if got := ViewOf(e, n).Len(); got != 3 {
+			t.Fatalf("node %d bootstrap view size %d, want 3", n.ID, got)
+		}
+	}
+	e.RunRounds(5)
+	for _, n := range e.Nodes() {
+		if got := ViewOf(e, n).Len(); got < 2 {
+			t.Fatalf("node %d view size %d after shuffles, want >= 2", n.ID, got)
+		}
+	}
+}
+
+func TestInDegreeBalance(t *testing.T) {
+	// After shuffling, in-degrees should be roughly balanced — the defining
+	// property of Cyclon overlays (no node should be isolated or a hub).
+	const nodes = 60
+	e := runCyclon(t, nodes, 50, 8, 4, 3)
+	indeg := make([]int, nodes)
+	for _, n := range e.Nodes() {
+		for _, entry := range ViewOf(e, n).Entries() {
+			indeg[entry.Peer]++
+		}
+	}
+	for id, d := range indeg {
+		if d == 0 {
+			t.Fatalf("node %d has in-degree 0", id)
+		}
+		if d > 8*4 {
+			t.Fatalf("node %d has in-degree %d — hub formation", id, d)
+		}
+	}
+}
+
+func TestDeadPeersEvicted(t *testing.T) {
+	e := sim.NewEngine(30, 4)
+	e.Register(New(6, 3))
+	e.RunRounds(10)
+	// Kill a third of the network.
+	for id := 0; id < 10; id++ {
+		e.SetUp(e.Node(id), false)
+	}
+	e.RunRounds(30)
+	for _, n := range e.Nodes() {
+		if !n.Up() {
+			continue
+		}
+		for _, entry := range ViewOf(e, n).Entries() {
+			if entry.Peer < 10 {
+				t.Fatalf("live node %d still references dead node %d", n.ID, entry.Peer)
+			}
+		}
+	}
+}
+
+func TestSelectPeer(t *testing.T) {
+	e := runCyclon(t, 20, 10, 6, 3, 5)
+	rng := sim.NewRNG(11)
+	for _, n := range e.Nodes() {
+		p := SelectPeer(e, n, rng)
+		if p < 0 || p == n.ID {
+			t.Fatalf("SelectPeer(%d) = %d", n.ID, p)
+		}
+		if !e.Node(p).Up() {
+			t.Fatalf("selected dead peer %d", p)
+		}
+	}
+}
+
+func TestSelectPeerPrunesDead(t *testing.T) {
+	e := runCyclon(t, 10, 5, 4, 2, 6)
+	// Kill everyone except node 0.
+	for id := 1; id < 10; id++ {
+		e.SetUp(e.Node(id), false)
+	}
+	rng := sim.NewRNG(3)
+	if p := SelectPeer(e, e.Node(0), rng); p != -1 {
+		t.Fatalf("SelectPeer with no live peers = %d, want -1", p)
+	}
+	if ViewOf(e, e.Node(0)).Len() != 0 {
+		t.Fatal("dead entries should have been pruned")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	p := New(0, 0)
+	if p.ViewSize != 20 {
+		t.Fatalf("default view size %d", p.ViewSize)
+	}
+	if p.ShuffleLen <= 0 || p.ShuffleLen > p.ViewSize {
+		t.Fatalf("default shuffle length %d", p.ShuffleLen)
+	}
+	p = New(10, 99) // shuffle > view clamps
+	if p.ShuffleLen > p.ViewSize {
+		t.Fatalf("shuffle length %d not clamped", p.ShuffleLen)
+	}
+}
+
+func TestConnectivityReachability(t *testing.T) {
+	// The union of views must form a connected digraph (weakly) so gossip
+	// reaches everyone.
+	const nodes = 50
+	e := runCyclon(t, nodes, 40, 8, 4, 7)
+	adj := make([][]int, nodes)
+	for _, n := range e.Nodes() {
+		for _, entry := range ViewOf(e, n).Entries() {
+			adj[n.ID] = append(adj[n.ID], entry.Peer)
+			adj[entry.Peer] = append(adj[entry.Peer], n.ID)
+		}
+	}
+	seen := make([]bool, nodes)
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	if count != nodes {
+		t.Fatalf("overlay disconnected: reached %d of %d", count, nodes)
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	v := &View{}
+	v.entries = []Entry{{Peer: 3, Age: 1}, {Peer: 5, Age: 2}}
+	if !v.Contains(3) || v.Contains(4) {
+		t.Fatal("Contains broken")
+	}
+	peers := v.Peers()
+	if len(peers) != 2 || peers[0] != 3 || peers[1] != 5 {
+		t.Fatalf("Peers = %v", peers)
+	}
+	// Entries returns a copy.
+	ents := v.Entries()
+	ents[0].Peer = 99
+	if v.entries[0].Peer == 99 {
+		t.Fatal("Entries should return a copy")
+	}
+	v.remove(3)
+	if v.Contains(3) || v.Len() != 1 {
+		t.Fatal("remove broken")
+	}
+	if (&View{}).oldestIndex() != -1 {
+		t.Fatal("oldestIndex of empty view should be -1")
+	}
+}

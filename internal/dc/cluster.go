@@ -1,0 +1,513 @@
+package dc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+// VM is one virtual machine instance. Demand fields are fractions of the
+// VM's allocated capacity; absolute demand is fraction * Spec.Capacity.
+type VM struct {
+	// ID is the VM's dense index.
+	ID int
+	// Spec is the VM's nominal allocation.
+	Spec VMSpec
+	// Host is the hosting PM id, or -1 while unplaced.
+	Host int
+
+	// Cur is the current-round demand fraction per resource.
+	Cur Vec
+	// avg is the running average demand per resource, maintained as the
+	// paper's {c, v} tuple: v is the mean of the first c observations.
+	avg   Vec
+	count int
+
+	// Migrations counts completed live migrations of this VM.
+	Migrations int
+	// degradedCPU accumulates C_d: the CPU-work degradation caused by
+	// migration, estimated as 10% of the VM's CPU utilisation over each
+	// migration (MIPS·seconds).
+	degradedCPU float64
+	// requestedCPU accumulates C_r: total CPU capacity requested over the
+	// VM's lifetime (MIPS·seconds).
+	requestedCPU float64
+
+	// Lifecycle bounds: the VM exists in rounds [arrive, depart); depart<0
+	// means forever. departed marks a VM that has left for good.
+	arrive   int
+	depart   int
+	departed bool
+}
+
+// AvgDemand returns the running average demand fraction per resource (the
+// paper's "average demand monitored up to now").
+func (v *VM) AvgDemand() Vec { return v.avg }
+
+// CurDemand returns the current demand fraction per resource.
+func (v *VM) CurDemand() Vec { return v.Cur }
+
+// CurAbs returns the current absolute demand (MIPS, MB).
+func (v *VM) CurAbs() Vec {
+	return Vec{v.Cur[CPU] * v.Spec.Capacity[CPU], v.Cur[Mem] * v.Spec.Capacity[Mem]}
+}
+
+// AvgAbs returns the average absolute demand (MIPS, MB).
+func (v *VM) AvgAbs() Vec {
+	return Vec{v.avg[CPU] * v.Spec.Capacity[CPU], v.avg[Mem] * v.Spec.Capacity[Mem]}
+}
+
+// DegradationRatio returns C_d / C_r for the SLALM metric; 0 when the VM has
+// not yet requested any CPU.
+func (v *VM) DegradationRatio() float64 {
+	if v.requestedCPU == 0 {
+		return 0
+	}
+	return v.degradedCPU / v.requestedCPU
+}
+
+// PM is one physical machine.
+type PM struct {
+	// ID is the PM's dense index.
+	ID int
+	// Spec is the hardware model.
+	Spec PMSpec
+
+	vms map[int]*VM
+	on  bool
+
+	// curSum and avgSum cache the aggregate absolute demand of the hosted
+	// VMs (current and running-average). They are maintained incrementally
+	// on attach/detach and rebuilt from scratch each AdvanceRound, so
+	// floating-point drift cannot accumulate across rounds.
+	curSum Vec
+	avgSum Vec
+
+	// activeSeconds is total time switched on; overloadSeconds is time
+	// spent at 100% CPU utilisation (for SLAVO).
+	activeSeconds   float64
+	overloadSeconds float64
+	// energyJ accumulates baseline power consumption while on.
+	energyJ float64
+}
+
+// On reports whether the PM is powered.
+func (p *PM) On() bool { return p.on }
+
+// NumVMs returns the number of hosted VMs.
+func (p *PM) NumVMs() int { return len(p.vms) }
+
+// VMIDs returns the hosted VM ids in ascending order. The copy is the
+// caller's to keep.
+func (p *PM) VMIDs() []int {
+	ids := make([]int, 0, len(p.vms))
+	for id := range p.vms {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// ActiveSeconds returns total powered-on time (T_a in Eq. 1).
+func (p *PM) ActiveSeconds() float64 { return p.activeSeconds }
+
+// OverloadSeconds returns total time at 100% CPU utilisation (T_s in Eq. 1).
+func (p *PM) OverloadSeconds() float64 { return p.overloadSeconds }
+
+// EnergyJ returns the PM's accumulated baseline energy (excluding migration
+// overhead, which the cluster ledger tracks separately).
+func (p *PM) EnergyJ() float64 { return p.energyJ }
+
+// Migration describes one completed live migration for the energy ledger.
+type Migration struct {
+	VM       int
+	From, To int
+	Round    int
+	// Seconds is the migration duration τ (VM memory / bandwidth).
+	Seconds float64
+	// EnergyJ is the overhead energy per Eq. 3.
+	EnergyJ float64
+}
+
+// Cluster is the full data center: PMs, VMs, the driving workload, and the
+// global accounting the evaluation metrics are computed from.
+type Cluster struct {
+	PMs []*PM
+	VMs []*VM
+
+	workload  *trace.Set
+	round     int
+	migBW     func(src, dst int) float64
+	placeIntn func(n int) int
+
+	// RoundSeconds is the wall-clock length of one round (the paper: 120 s).
+	RoundSeconds float64
+
+	// Migrations is the cumulative migration count.
+	Migrations int64
+	// MigrationEnergyJ is the cumulative migration energy overhead (Eq. 3).
+	MigrationEnergyJ float64
+	migrationLog     []Migration
+	logMigrations    bool
+}
+
+// Config assembles a Cluster.
+type Config struct {
+	// PMs is the number of physical machines.
+	PMs int
+	// PMSpec and VMSpec select hardware models; zero values default to the
+	// paper's HP ProLiant ML110 G5 and EC2 micro.
+	PMSpec PMSpec
+	VMSpec VMSpec
+	// PMSpecFor, when set, assigns a per-machine hardware model
+	// (heterogeneous clusters); it overrides PMSpec.
+	PMSpecFor func(pm int) PMSpec
+	// Workload drives per-VM demand; it also fixes the number of VMs.
+	Workload *trace.Set
+	// RoundSeconds defaults to 120.
+	RoundSeconds float64
+	// LogMigrations keeps a per-migration record (needed only by the
+	// energy-breakdown example; the counters are always maintained).
+	LogMigrations bool
+	// MigrationBandwidth, when set, overrides the bandwidth (MB/s)
+	// available to a live migration between two PMs — the hook through
+	// which the network topology model imposes oversubscription penalties
+	// on cross-rack and cross-pod transfers.
+	MigrationBandwidth func(src, dst int) float64
+}
+
+// New builds a cluster with all PMs on and no VMs placed. Call a placement
+// routine (e.g. PlaceRandom) before running rounds.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.PMs <= 0 {
+		return nil, fmt.Errorf("dc: PMs must be positive, got %d", cfg.PMs)
+	}
+	if cfg.Workload == nil || cfg.Workload.NumVMs() == 0 {
+		return nil, fmt.Errorf("dc: workload with at least one VM required")
+	}
+	if cfg.PMSpec.Capacity == (Vec{}) {
+		cfg.PMSpec = HPProLiantML110G5
+	}
+	if cfg.VMSpec.Capacity == (Vec{}) {
+		cfg.VMSpec = EC2Micro
+	}
+	if cfg.RoundSeconds == 0 {
+		cfg.RoundSeconds = 120
+	}
+	c := &Cluster{
+		workload:      cfg.Workload,
+		RoundSeconds:  cfg.RoundSeconds,
+		logMigrations: cfg.LogMigrations,
+		migBW:         cfg.MigrationBandwidth,
+	}
+	c.PMs = make([]*PM, cfg.PMs)
+	for i := range c.PMs {
+		spec := cfg.PMSpec
+		if cfg.PMSpecFor != nil {
+			spec = cfg.PMSpecFor(i)
+		}
+		c.PMs[i] = &PM{ID: i, Spec: spec, vms: make(map[int]*VM), on: true}
+	}
+	c.VMs = make([]*VM, cfg.Workload.NumVMs())
+	for i := range c.VMs {
+		vm := &VM{ID: i, Spec: cfg.VMSpec, Host: -1, depart: -1}
+		// Seed demand from round 0 so states are meaningful before the
+		// first AdvanceRound.
+		s := cfg.Workload.At(i, 0)
+		vm.Cur = Vec{s.CPU, s.Mem}
+		vm.avg = vm.Cur
+		vm.count = 1
+		c.VMs[i] = vm
+	}
+	return c, nil
+}
+
+// Round returns the index of the last advanced round.
+func (c *Cluster) Round() int { return c.round }
+
+// Workload returns the driving trace set.
+func (c *Cluster) Workload() *trace.Set { return c.workload }
+
+// MigrationLog returns the per-migration records (only populated when
+// Config.LogMigrations was set).
+func (c *Cluster) MigrationLog() []Migration { return c.migrationLog }
+
+// PlaceRandom distributes all unplaced VMs uniformly at random over powered
+// PMs using the provided index picker (intn(n) must return a uniform value
+// in [0, n)). Initial allocation is by VM type — full nominal size — as in
+// Section V-A, so the placement may not respect *current* demand headroom
+// but always respects allocated capacity where possible; when the cluster is
+// oversubscribed (ratio > capacity), remaining VMs are placed round-robin.
+func (c *Cluster) PlaceRandom(intn func(n int) int) {
+	c.placeIntn = intn
+	alloc := make([]Vec, len(c.PMs))
+	for _, vm := range c.VMs {
+		if vm.Host >= 0 || vm.arrive > 0 {
+			continue
+		}
+		placed := false
+		for attempt := 0; attempt < 3*len(c.PMs); attempt++ {
+			p := intn(len(c.PMs))
+			pm := c.PMs[p]
+			if !pm.on {
+				continue
+			}
+			if alloc[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
+				c.attach(vm, pm)
+				alloc[p] = alloc[p].Add(vm.Spec.Capacity)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			// First-fit scan before giving up on the allocation bound.
+			start := intn(len(c.PMs))
+			for off := 0; off < len(c.PMs); off++ {
+				p := (start + off) % len(c.PMs)
+				pm := c.PMs[p]
+				if !pm.on {
+					continue
+				}
+				if alloc[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
+					c.attach(vm, pm)
+					alloc[p] = alloc[p].Add(vm.Spec.Capacity)
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			// The cluster is genuinely over-subscribed by allocation;
+			// stuff the VM anyway so every VM runs somewhere.
+			pm := c.PMs[vm.ID%len(c.PMs)]
+			c.attach(vm, pm)
+			alloc[pm.ID] = alloc[pm.ID].Add(vm.Spec.Capacity)
+		}
+	}
+}
+
+func (c *Cluster) attach(vm *VM, pm *PM) {
+	pm.vms[vm.ID] = vm
+	vm.Host = pm.ID
+	pm.curSum = pm.curSum.Add(vm.CurAbs())
+	pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
+}
+
+func (c *Cluster) detach(vm *VM, pm *PM) {
+	delete(pm.vms, vm.ID)
+	pm.curSum = pm.curSum.Sub(vm.CurAbs())
+	pm.avgSum = pm.avgSum.Sub(vm.AvgAbs())
+}
+
+// CurUtil returns the PM's current utilisation fraction per resource:
+// aggregate current absolute VM demand divided by capacity. Values may
+// exceed 1 when demand outstrips capacity; the PM is then overloaded and the
+// excess manifests as SLA violation.
+func (c *Cluster) CurUtil(pm *PM) Vec {
+	return pm.curSum.Div(pm.Spec.Capacity)
+}
+
+// AvgUtil returns the PM's utilisation per resource computed from the VMs'
+// running average demand (the paper's pre-action PM state).
+func (c *Cluster) AvgUtil(pm *PM) Vec {
+	return pm.avgSum.Div(pm.Spec.Capacity)
+}
+
+// Overloaded reports whether the PM's current demand saturates at least one
+// resource (utilisation >= 1 on any axis).
+func (c *Cluster) Overloaded(pm *PM) bool {
+	u := c.CurUtil(pm)
+	for _, x := range u {
+		if x >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// FreeCur returns the remaining absolute capacity under current demand,
+// clamped at zero.
+func (c *Cluster) FreeCur(pm *PM) Vec {
+	u := c.CurUtil(pm)
+	var free Vec
+	for r := 0; r < NumResources; r++ {
+		f := (1 - u[r]) * pm.Spec.Capacity[r]
+		if f < 0 {
+			f = 0
+		}
+		free[r] = f
+	}
+	return free
+}
+
+// FitsCur reports whether vm's current absolute demand fits in pm's free
+// capacity under current demand — the capacity check of Algorithm 3.
+func (c *Cluster) FitsCur(vm *VM, pm *PM) bool {
+	return vm.CurAbs().FitsWithin(c.FreeCur(pm))
+}
+
+// SetPMOn powers the PM on or off. Switching off a PM that still hosts VMs
+// is rejected: consolidation protocols must empty a machine first.
+func (c *Cluster) SetPMOn(pm *PM, on bool) error {
+	if !on && len(pm.vms) > 0 {
+		return fmt.Errorf("dc: cannot switch off PM %d: hosts %d VMs", pm.ID, len(pm.vms))
+	}
+	pm.on = on
+	return nil
+}
+
+// Migrate live-migrates vm from its current host to dst, updating counters
+// and the energy ledger (Eq. 3). It returns an error when dst is off, vm is
+// unplaced, or src == dst. Capacity is deliberately not re-checked here:
+// admission is the protocol's decision (Algorithm 3 performs the check), and
+// over-admission must be expressible so that bad policies produce the SLA
+// violations the paper measures.
+func (c *Cluster) Migrate(vm *VM, dst *PM) error {
+	if vm.Host < 0 {
+		return fmt.Errorf("dc: VM %d is not placed", vm.ID)
+	}
+	if !dst.on {
+		return fmt.Errorf("dc: destination PM %d is off", dst.ID)
+	}
+	src := c.PMs[vm.Host]
+	if src.ID == dst.ID {
+		return fmt.Errorf("dc: VM %d already on PM %d", vm.ID, dst.ID)
+	}
+	c.detach(vm, src)
+	c.attach(vm, dst)
+	vm.Migrations++
+
+	// Migration time: VM memory footprint over available bandwidth. The
+	// footprint is the VM's current memory demand (post-copy of the working
+	// set), bounded below by a small constant so empty VMs still cost.
+	memMB := vm.Cur[Mem] * vm.Spec.Capacity[Mem]
+	if memMB < 1 {
+		memMB = 1
+	}
+	bw := src.Spec.NetBandwidthMBps
+	if dst.Spec.NetBandwidthMBps < bw {
+		bw = dst.Spec.NetBandwidthMBps
+	}
+	if c.migBW != nil {
+		if custom := c.migBW(src.ID, dst.ID); custom > 0 {
+			bw = custom
+		}
+	}
+	tau := memMB / bw
+
+	// Eq. 3: E = ((P_i^lm - P_i^idle) + (P_j^lm - P_j^idle)) * tau, with
+	// P^lm - P^idle modelled as the dynamic power of the migration's CPU
+	// overhead on each endpoint.
+	eSrc := (src.Spec.PowerMaxW - src.Spec.PowerIdleW) * src.Spec.MigrationCPUOverhead
+	eDst := (dst.Spec.PowerMaxW - dst.Spec.PowerIdleW) * dst.Spec.MigrationCPUOverhead
+	energy := (eSrc + eDst) * tau
+
+	// SLALM: performance degradation estimated as 10% of the VM's CPU
+	// utilisation during the migration.
+	vm.degradedCPU += 0.10 * vm.Cur[CPU] * vm.Spec.Capacity[CPU] * tau
+
+	c.Migrations++
+	c.MigrationEnergyJ += energy
+	if c.logMigrations {
+		c.migrationLog = append(c.migrationLog, Migration{
+			VM: vm.ID, From: src.ID, To: dst.ID, Round: c.round,
+			Seconds: tau, EnergyJ: energy,
+		})
+	}
+	return nil
+}
+
+// AdvanceRound moves the cluster to round r: every VM's current demand is
+// refreshed from the workload and folded into its running average, and PM
+// time/energy accounting advances by one round.
+func (c *Cluster) AdvanceRound(r int) {
+	c.round = r
+	c.stepLifecycle(r)
+	for _, vm := range c.VMs {
+		if !vm.Present() {
+			continue
+		}
+		s := c.workload.At(vm.ID, r)
+		vm.Cur = Vec{s.CPU, s.Mem}
+		// Running average: ((c*v) + d(t)) / (c+1), per resource.
+		n := float64(vm.count)
+		for res := 0; res < NumResources; res++ {
+			vm.avg[res] = (n*vm.avg[res] + vm.Cur[res]) / (n + 1)
+		}
+		vm.count++
+		vm.requestedCPU += vm.Cur[CPU] * vm.Spec.Capacity[CPU] * c.RoundSeconds
+	}
+	// Rebuild the cached demand sums from scratch: demand changed for every
+	// VM, and a fresh summation avoids accumulating float drift.
+	for _, pm := range c.PMs {
+		pm.curSum, pm.avgSum = Vec{}, Vec{}
+		for _, vm := range pm.vms {
+			pm.curSum = pm.curSum.Add(vm.CurAbs())
+			pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
+		}
+	}
+	for _, pm := range c.PMs {
+		if !pm.on {
+			continue
+		}
+		pm.activeSeconds += c.RoundSeconds
+		u := c.CurUtil(pm)
+		cpuU := u[CPU]
+		if cpuU >= 1 {
+			pm.overloadSeconds += c.RoundSeconds
+			cpuU = 1
+		}
+		pm.energyJ += (pm.Spec.PowerIdleW + (pm.Spec.PowerMaxW-pm.Spec.PowerIdleW)*cpuU) * c.RoundSeconds
+	}
+}
+
+// ActivePMs returns the number of powered PMs.
+func (c *Cluster) ActivePMs() int {
+	n := 0
+	for _, pm := range c.PMs {
+		if pm.on {
+			n++
+		}
+	}
+	return n
+}
+
+// OverloadedPMs returns the number of powered PMs whose current demand
+// saturates at least one resource.
+func (c *Cluster) OverloadedPMs() int {
+	n := 0
+	for _, pm := range c.PMs {
+		if pm.on && c.Overloaded(pm) {
+			n++
+		}
+	}
+	return n
+}
+
+// CheckInvariants verifies structural consistency (every VM on exactly one
+// powered PM that also lists it). It is used by tests and returns the first
+// violation found.
+func (c *Cluster) CheckInvariants() error {
+	seen := make(map[int]int)
+	for _, pm := range c.PMs {
+		for id, vm := range pm.vms {
+			if vm.ID != id {
+				return fmt.Errorf("dc: PM %d maps id %d to VM %d", pm.ID, id, vm.ID)
+			}
+			if vm.Host != pm.ID {
+				return fmt.Errorf("dc: VM %d hosted by PM %d but Host=%d", vm.ID, pm.ID, vm.Host)
+			}
+			if !pm.on {
+				return fmt.Errorf("dc: powered-off PM %d hosts VM %d", pm.ID, vm.ID)
+			}
+			seen[id]++
+		}
+	}
+	for _, vm := range c.VMs {
+		if vm.Host >= 0 && seen[vm.ID] != 1 {
+			return fmt.Errorf("dc: VM %d appears on %d PMs", vm.ID, seen[vm.ID])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,382 @@
+package dc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+func appendRow(b []byte, vm, r int, cpu, mem float64) []byte {
+	return append(b, []byte(fmt.Sprintf("%d,%d,%g,%g\n", vm, r, cpu, mem))...)
+}
+
+func bytesReader(b []byte) io.Reader { return bytes.NewReader(b) }
+
+// mustSyntheticConst builds a workload where every VM demands the same
+// fractions every round, via the CSV path to keep trace.Set opaque.
+func mustSyntheticConst(t *testing.T, vms, rounds int, cpu, mem float64) *trace.Set {
+	t.Helper()
+	var b []byte
+	b = append(b, []byte("vm,round,cpu,mem\n")...)
+	for vm := 0; vm < vms; vm++ {
+		for r := 0; r < rounds; r++ {
+			b = appendRow(b, vm, r, cpu, mem)
+		}
+	}
+	set, err := trace.LoadCSV(bytesReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func newTestCluster(t *testing.T, pms, vms int, cpu, mem float64) *Cluster {
+	t.Helper()
+	set := mustSyntheticConst(t, vms, 10, cpu, mem)
+	c, err := New(Config{PMs: pms, Workload: set, LogMigrations: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	c.PlaceRandom(rng.Intn)
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	set := mustSyntheticConst(t, 2, 2, 0.5, 0.5)
+	if _, err := New(Config{PMs: 0, Workload: set}); err == nil {
+		t.Fatal("expected error for zero PMs")
+	}
+	if _, err := New(Config{PMs: 2}); err == nil {
+		t.Fatal("expected error for missing workload")
+	}
+}
+
+func TestNewDefaults(t *testing.T) {
+	set := mustSyntheticConst(t, 2, 2, 0.5, 0.5)
+	c, err := New(Config{PMs: 2, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PMs[0].Spec.Name != HPProLiantML110G5.Name {
+		t.Fatal("PM spec should default to the paper's server")
+	}
+	if c.VMs[0].Spec.Name != EC2Micro.Name {
+		t.Fatal("VM spec should default to EC2 micro")
+	}
+	if c.RoundSeconds != 120 {
+		t.Fatalf("RoundSeconds = %g", c.RoundSeconds)
+	}
+}
+
+func TestPlaceRandomPlacesEveryVM(t *testing.T) {
+	c := newTestCluster(t, 10, 30, 0.3, 0.3)
+	for _, vm := range c.VMs {
+		if vm.Host < 0 {
+			t.Fatalf("VM %d unplaced", vm.ID)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceRandomRespectsAllocationWhenFeasible(t *testing.T) {
+	// 10 PMs x 5 nominal VM slots = 50 slots; 30 VMs easily fit.
+	c := newTestCluster(t, 10, 30, 0.3, 0.3)
+	for _, pm := range c.PMs {
+		var alloc Vec
+		for _, id := range pm.VMIDs() {
+			alloc = alloc.Add(c.VMs[id].Spec.Capacity)
+		}
+		if !alloc.FitsWithin(pm.Spec.Capacity) {
+			t.Fatalf("PM %d over-allocated: %v", pm.ID, alloc)
+		}
+	}
+}
+
+func TestPlaceRandomDeterministic(t *testing.T) {
+	hosts := func(seed uint64) []int {
+		set := mustSyntheticConst(t, 20, 2, 0.2, 0.2)
+		c, _ := New(Config{PMs: 8, Workload: set})
+		rng := sim.NewRNG(seed)
+		c.PlaceRandom(rng.Intn)
+		out := make([]int, len(c.VMs))
+		for i, vm := range c.VMs {
+			out[i] = vm.Host
+		}
+		return out
+	}
+	a, b := hosts(5), hosts(5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("placement not deterministic for equal seeds")
+		}
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	// 1 PM, 2 VMs at 50% CPU each: 2*0.5*500/2660 CPU utilisation.
+	c := newTestCluster(t, 1, 2, 0.5, 0.25)
+	u := c.CurUtil(c.PMs[0])
+	wantCPU := 2 * 0.5 * 500 / 2660
+	wantMem := 2 * 0.25 * 613 / 4096
+	if math.Abs(u[CPU]-wantCPU) > 1e-9 || math.Abs(u[Mem]-wantMem) > 1e-9 {
+		t.Fatalf("util %v, want (%g, %g)", u, wantCPU, wantMem)
+	}
+	// Average equals current for constant demand.
+	if a := c.AvgUtil(c.PMs[0]); math.Abs(a[CPU]-wantCPU) > 1e-9 {
+		t.Fatalf("avg util %v", a)
+	}
+}
+
+func TestRunningAverage(t *testing.T) {
+	// Demand 0.2 at round 0 (seeded), then rounds with varying demand;
+	// verify the {c,v} running-average recurrence.
+	var b []byte
+	b = append(b, []byte("vm,round,cpu,mem\n")...)
+	demands := []float64{0.2, 0.4, 0.6, 0.8}
+	for r, d := range demands {
+		b = appendRow(b, 0, r, d, d)
+	}
+	set, err := trace.LoadCSV(bytesReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{PMs: 1, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	c.PlaceRandom(rng.Intn)
+	// After New, count=1 with avg = demand(0) = 0.2.
+	vm := c.VMs[0]
+	if math.Abs(vm.AvgDemand()[CPU]-0.2) > 1e-12 {
+		t.Fatalf("initial avg %v", vm.AvgDemand())
+	}
+	c.AdvanceRound(1) // sees 0.4: avg = (0.2+0.4)/2 = 0.3
+	if math.Abs(vm.AvgDemand()[CPU]-0.3) > 1e-12 {
+		t.Fatalf("avg after r1 = %v", vm.AvgDemand())
+	}
+	c.AdvanceRound(2) // sees 0.6: avg = (0.2+0.4+0.6)/3 = 0.4
+	if math.Abs(vm.AvgDemand()[CPU]-0.4) > 1e-12 {
+		t.Fatalf("avg after r2 = %v", vm.AvgDemand())
+	}
+	if math.Abs(vm.CurDemand()[CPU]-0.6) > 1e-12 {
+		t.Fatalf("cur after r2 = %v", vm.CurDemand())
+	}
+}
+
+func TestOverloadDetection(t *testing.T) {
+	// 6 VMs at 100% CPU on one PM: 6*500 = 3000 > 2660.
+	c := newTestCluster(t, 1, 6, 1.0, 0.2)
+	if !c.Overloaded(c.PMs[0]) {
+		t.Fatalf("PM should be overloaded: util %v", c.CurUtil(c.PMs[0]))
+	}
+	if c.OverloadedPMs() != 1 {
+		t.Fatal("OverloadedPMs should be 1")
+	}
+	c2 := newTestCluster(t, 2, 2, 0.5, 0.2)
+	for _, pm := range c2.PMs {
+		if c2.Overloaded(pm) {
+			t.Fatal("lightly loaded PM flagged overloaded")
+		}
+	}
+}
+
+func TestFreeCurAndFitsCur(t *testing.T) {
+	c := newTestCluster(t, 2, 1, 0.5, 0.5)
+	vm := c.VMs[0]
+	src := c.PMs[vm.Host]
+	dst := c.PMs[1-vm.Host]
+	if !c.FitsCur(vm, dst) {
+		t.Fatal("VM should fit empty PM")
+	}
+	free := c.FreeCur(src)
+	if free[CPU] >= src.Spec.Capacity[CPU] {
+		t.Fatal("free capacity should be reduced by the hosted VM")
+	}
+}
+
+func TestMigrate(t *testing.T) {
+	c := newTestCluster(t, 2, 1, 0.5, 0.5)
+	vm := c.VMs[0]
+	src := c.PMs[vm.Host]
+	dst := c.PMs[1-vm.Host]
+	if err := c.Migrate(vm, dst); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Host != dst.ID || src.NumVMs() != 0 || dst.NumVMs() != 1 {
+		t.Fatal("migration did not move the VM")
+	}
+	if vm.Migrations != 1 || c.Migrations != 1 {
+		t.Fatal("migration counters not updated")
+	}
+	if c.MigrationEnergyJ <= 0 {
+		t.Fatal("migration energy not accounted")
+	}
+	if len(c.MigrationLog()) != 1 {
+		t.Fatal("migration log not appended")
+	}
+	m := c.MigrationLog()[0]
+	// tau = memMB / bandwidth = 0.5*613/1250.
+	wantTau := 0.5 * 613 / 1250
+	if math.Abs(m.Seconds-wantTau) > 1e-9 {
+		t.Fatalf("tau = %g, want %g", m.Seconds, wantTau)
+	}
+	// Eq. 3 with 10% CPU overhead on both homogeneous endpoints.
+	wantE := 2 * (135 - 93) * 0.10 * wantTau
+	if math.Abs(m.EnergyJ-wantE) > 1e-9 {
+		t.Fatalf("energy = %g, want %g", m.EnergyJ, wantE)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMigrateErrors(t *testing.T) {
+	c := newTestCluster(t, 3, 1, 0.5, 0.5)
+	vm := c.VMs[0]
+	cur := c.PMs[vm.Host]
+	if err := c.Migrate(vm, cur); err == nil {
+		t.Fatal("expected error migrating to same PM")
+	}
+	var other *PM
+	for _, pm := range c.PMs {
+		if pm.ID != vm.Host && pm.NumVMs() == 0 {
+			other = pm
+		}
+	}
+	if err := c.SetPMOn(other, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Migrate(vm, other); err == nil {
+		t.Fatal("expected error migrating to powered-off PM")
+	}
+}
+
+func TestMigrateUpdatesSLALM(t *testing.T) {
+	c := newTestCluster(t, 2, 1, 0.8, 0.5)
+	vm := c.VMs[0]
+	c.AdvanceRound(1) // accrue requested CPU
+	before := vm.DegradationRatio()
+	if err := c.Migrate(vm, c.PMs[1-vm.Host]); err != nil {
+		t.Fatal(err)
+	}
+	if vm.DegradationRatio() <= before {
+		t.Fatal("migration should increase degradation ratio")
+	}
+}
+
+func TestSetPMOnGuard(t *testing.T) {
+	c := newTestCluster(t, 1, 1, 0.5, 0.5)
+	if err := c.SetPMOn(c.PMs[0], false); err == nil {
+		t.Fatal("expected error switching off a PM hosting VMs")
+	}
+	c2 := newTestCluster(t, 2, 1, 0.5, 0.5)
+	var empty *PM
+	for _, pm := range c2.PMs {
+		if pm.NumVMs() == 0 {
+			empty = pm
+		}
+	}
+	if err := c2.SetPMOn(empty, false); err != nil {
+		t.Fatal(err)
+	}
+	if c2.ActivePMs() != 1 {
+		t.Fatalf("ActivePMs = %d", c2.ActivePMs())
+	}
+}
+
+func TestAdvanceRoundAccounting(t *testing.T) {
+	// Non-overloaded PM accrues active time and energy, no overload time.
+	c := newTestCluster(t, 1, 2, 0.5, 0.2)
+	c.AdvanceRound(1)
+	pm := c.PMs[0]
+	if pm.ActiveSeconds() != 120 {
+		t.Fatalf("active seconds %g", pm.ActiveSeconds())
+	}
+	if pm.OverloadSeconds() != 0 {
+		t.Fatal("no overload expected")
+	}
+	if pm.EnergyJ() <= 93*120 {
+		t.Fatalf("energy %g should exceed idle floor", pm.EnergyJ())
+	}
+	// Overloaded PM accrues overload time; energy capped at max power.
+	c2 := newTestCluster(t, 1, 6, 1.0, 0.2)
+	c2.AdvanceRound(1)
+	pm2 := c2.PMs[0]
+	if pm2.OverloadSeconds() != 120 {
+		t.Fatalf("overload seconds %g", pm2.OverloadSeconds())
+	}
+	if pm2.EnergyJ() > 135*120+1e-9 {
+		t.Fatalf("energy %g exceeds max-power bound", pm2.EnergyJ())
+	}
+}
+
+func TestCachedSumsMatchRecomputation(t *testing.T) {
+	// Property: after arbitrary migrations and round advances, the cached
+	// CurUtil matches a from-scratch recomputation.
+	set, err := trace.Generate(trace.DefaultGenConfig(30, 20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{PMs: 8, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(9)
+	c.PlaceRandom(rng.Intn)
+
+	f := func(steps []uint16) bool {
+		for i, s := range steps {
+			if i%3 == 0 {
+				c.AdvanceRound(int(s) % 20)
+				continue
+			}
+			vm := c.VMs[int(s)%len(c.VMs)]
+			dst := c.PMs[int(s/7)%len(c.PMs)]
+			if dst.ID != vm.Host {
+				_ = c.Migrate(vm, dst)
+			}
+		}
+		for _, pm := range c.PMs {
+			var sum Vec
+			for _, id := range pm.VMIDs() {
+				sum = sum.Add(c.VMs[id].CurAbs())
+			}
+			got := c.CurUtil(pm)
+			want := sum.Div(pm.Spec.Capacity)
+			for r := 0; r < NumResources; r++ {
+				if math.Abs(got[r]-want[r]) > 1e-6 {
+					return false
+				}
+			}
+		}
+		return c.CheckInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	c := newTestCluster(t, 2, 2, 0.5, 0.5)
+	c.VMs[0].Host = 1 - c.VMs[0].Host // corrupt
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("expected invariant violation")
+	}
+}
+
+func TestDegradationRatioZeroWhenNoRequest(t *testing.T) {
+	c := newTestCluster(t, 2, 1, 0.0, 0.5)
+	if c.VMs[0].DegradationRatio() != 0 {
+		t.Fatal("zero requested CPU should yield zero ratio")
+	}
+}

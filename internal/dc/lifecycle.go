@@ -1,0 +1,118 @@
+package dc
+
+import "fmt"
+
+// VM lifecycle: by default every VM exists for the whole run (the paper's
+// setup). SetLifecycle gives a VM an arrival and departure round instead,
+// enabling the dynamic-population experiments that motivate the paper's
+// re-learning trigger ("if the arrival and departure rates of VMs exceed a
+// threshold"). An arriving VM is placed by first-fit over nominal
+// allocation using the cluster's placement randomness; a departing VM is
+// detached and never returns.
+
+// SetLifecycle schedules VM id to arrive at round arrive and depart at
+// round depart (depart < 0 means never). It must be called before the
+// simulation starts; VMs with arrive > 0 are skipped by PlaceRandom and
+// join the cluster when their round comes.
+func (c *Cluster) SetLifecycle(id, arrive, depart int) error {
+	if id < 0 || id >= len(c.VMs) {
+		return fmt.Errorf("dc: no VM %d", id)
+	}
+	if arrive < 0 || (depart >= 0 && depart <= arrive) {
+		return fmt.Errorf("dc: invalid lifecycle [%d, %d)", arrive, depart)
+	}
+	vm := c.VMs[id]
+	if vm.Host >= 0 {
+		return fmt.Errorf("dc: VM %d already placed; set lifecycles before placement", id)
+	}
+	vm.arrive = arrive
+	vm.depart = depart
+	return nil
+}
+
+// Present reports whether the VM is currently part of the cluster (arrived
+// and not yet departed).
+func (v *VM) Present() bool { return v.Host >= 0 }
+
+// Departed reports whether the VM has left the cluster for good.
+func (v *VM) Departed() bool { return v.departed }
+
+// PresentVMs returns the number of VMs currently placed.
+func (c *Cluster) PresentVMs() int {
+	n := 0
+	for _, vm := range c.VMs {
+		if vm.Present() {
+			n++
+		}
+	}
+	return n
+}
+
+// stepLifecycle performs arrivals and departures for round r. Departures
+// run first so freed capacity is available to arrivals in the same round.
+func (c *Cluster) stepLifecycle(r int) {
+	for _, vm := range c.VMs {
+		if vm.Host >= 0 && vm.depart >= 0 && r >= vm.depart {
+			c.detach(vm, c.PMs[vm.Host])
+			vm.Host = -1
+			vm.departed = true
+		}
+	}
+	for _, vm := range c.VMs {
+		if vm.Host < 0 && !vm.departed && r >= vm.arrive && vm.arrive > 0 {
+			// Restart demand monitoring from the arrival round: the
+			// running average covers the VM's own lifetime only.
+			sample := c.workload.At(vm.ID, r)
+			vm.Cur = Vec{sample.CPU, sample.Mem}
+			vm.avg = vm.Cur
+			vm.count = 1
+			c.placeArrival(vm)
+		}
+	}
+}
+
+// placeArrival places a newly arrived VM: random-first over powered PMs
+// with nominal-allocation headroom, falling back to first-fit, then to
+// stuffing — mirroring PlaceRandom's policy for the initial population.
+func (c *Cluster) placeArrival(vm *VM) {
+	intn := c.placeIntn
+	if intn == nil {
+		intn = func(n int) int { return int(vm.ID) % n }
+	}
+	allocOf := func(pm *PM) Vec {
+		var alloc Vec
+		for _, hosted := range pm.vms {
+			alloc = alloc.Add(hosted.Spec.Capacity)
+		}
+		return alloc
+	}
+	for attempt := 0; attempt < 2*len(c.PMs); attempt++ {
+		pm := c.PMs[intn(len(c.PMs))]
+		if !pm.on {
+			continue
+		}
+		if allocOf(pm).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
+			c.attach(vm, pm)
+			return
+		}
+	}
+	start := intn(len(c.PMs))
+	for off := 0; off < len(c.PMs); off++ {
+		pm := c.PMs[(start+off)%len(c.PMs)]
+		if !pm.on {
+			continue
+		}
+		if allocOf(pm).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
+			c.attach(vm, pm)
+			return
+		}
+	}
+	// Over-subscribed: stuff onto any powered PM.
+	for off := 0; off < len(c.PMs); off++ {
+		pm := c.PMs[(start+off)%len(c.PMs)]
+		if pm.on {
+			c.attach(vm, pm)
+			return
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package dc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVecOps(t *testing.T) {
+	a := Vec{1, 2}
+	b := Vec{3, 5}
+	if got := a.Add(b); got != (Vec{4, 7}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != (Vec{2, 3}) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != (Vec{2, 4}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	if got := b.Div(a); got != (Vec{3, 2.5}) {
+		t.Fatalf("Div = %v", got)
+	}
+	if got := (Vec{1, 2}).Div(Vec{0, 2}); got != (Vec{0, 1}) {
+		t.Fatalf("Div by zero component = %v", got)
+	}
+	if (Vec{3, 9}).Max() != 9 || (Vec{9, 3}).Max() != 9 {
+		t.Fatal("Max broken")
+	}
+	if (Vec{2, 4}).Avg() != 3 {
+		t.Fatal("Avg broken")
+	}
+}
+
+func TestVecFitsWithin(t *testing.T) {
+	if !(Vec{1, 2}).FitsWithin(Vec{1, 2}) {
+		t.Fatal("equal should fit")
+	}
+	if (Vec{1.01, 2}).FitsWithin(Vec{1, 2}) {
+		t.Fatal("larger cpu should not fit")
+	}
+	if (Vec{1, 2.01}).FitsWithin(Vec{1, 2}) {
+		t.Fatal("larger mem should not fit")
+	}
+}
+
+func TestVecAddSubInverse(t *testing.T) {
+	f := func(a0, a1, b0, b1 float64) bool {
+		if !finite(a0) || !finite(a1) || !finite(b0) || !finite(b1) {
+			return true
+		}
+		a := Vec{a0, a1}
+		b := Vec{b0, b1}
+		got := a.Add(b).Sub(b)
+		const tol = 1e-6
+		return abs(got[0]-a0) <= tol*(1+abs(a0)+abs(b0)) &&
+			abs(got[1]-a1) <= tol*(1+abs(a1)+abs(b1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func finite(x float64) bool { return x == x && x < 1e100 && x > -1e100 }
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestResourceString(t *testing.T) {
+	if CPU.String() != "cpu" || Mem.String() != "mem" {
+		t.Fatal("resource names wrong")
+	}
+}
+
+func TestCatalogValues(t *testing.T) {
+	// The exact hardware numbers from Section V-A.
+	if HPProLiantML110G5.Capacity != (Vec{2660, 4096}) {
+		t.Fatalf("PM capacity %v", HPProLiantML110G5.Capacity)
+	}
+	if EC2Micro.Capacity != (Vec{500, 613}) {
+		t.Fatalf("VM capacity %v", EC2Micro.Capacity)
+	}
+	if HPProLiantML110G5.PowerIdleW >= HPProLiantML110G5.PowerMaxW {
+		t.Fatal("idle power must be below max power")
+	}
+	if HPProLiantML110G5.NetBandwidthMBps != 1250 {
+		t.Fatalf("bandwidth %g, want 1250 MB/s (10 Gb/s)", HPProLiantML110G5.NetBandwidthMBps)
+	}
+}

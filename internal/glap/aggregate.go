@@ -1,0 +1,72 @@
+package glap
+
+import (
+	"github.com/glap-sim/glap/internal/gossip"
+	"github.com/glap-sim/glap/internal/qlearn"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// AggProtocolName registers the aggregation phase of the Gossip Learning
+// component.
+const AggProtocolName = "glap-aggregate"
+
+// AggProtocol is Algorithm 2: a push-pull gossip in which every PM exchanges
+// its φ^io (both Q-tables) with one random neighbour per round and the two
+// endpoints merge — averaging cells present on both sides and adopting cells
+// present on one — so that all PMs converge to identical Q-values.
+//
+// The protocol operates on the Q store owned by LearnProtocol, which must be
+// registered on the same engine.
+type AggProtocol struct {
+	// Select overrides the peer selector (defaults to Cyclon sampling).
+	Select gossip.PeerSelector
+
+	rng *sim.RNG
+}
+
+// Name implements sim.Protocol.
+func (a *AggProtocol) Name() string { return AggProtocolName }
+
+// Setup implements sim.Protocol. The aggregation phase has no state of its
+// own; it mutates the learning component's tables.
+func (a *AggProtocol) Setup(e *sim.Engine, n *sim.Node) any {
+	if a.rng == nil {
+		a.rng = e.RNG().Derive(0xa66a66)
+	}
+	return struct{}{}
+}
+
+// Round implements one active-thread exchange of Algorithm 2.
+func (a *AggProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	sel := a.Select
+	if sel == nil {
+		sel = gossip.CyclonSelector
+	}
+	peer := sel(e, n, a.rng)
+	if peer < 0 {
+		return
+	}
+	p := TablesOf(e, n)
+	q := TablesOf(e, e.Node(peer))
+	// Skip the merge when both stores already agree: Equal exits on the
+	// first differing cell, so this is cheap before convergence and turns
+	// the (frequent) post-convergence exchanges into no-ops.
+	if !qlearn.Equal(p.Out, q.Out) {
+		qlearn.Unify(p.Out, q.Out)
+	}
+	if !qlearn.Equal(p.In, q.In) {
+		qlearn.Unify(p.In, q.In)
+	}
+}
+
+// IOVector adapts a node's φ^io to the convergence instrumentation; nodes
+// with empty tables are excluded from similarity measurement, matching the
+// paper's remark that PMs lacking resources may own no Q-values after the
+// learning phase.
+func IOVector(e *sim.Engine, n *sim.Node) map[IOKey]float64 {
+	t := TablesOf(e, n)
+	if t.Out.Len()+t.In.Len() == 0 {
+		return nil
+	}
+	return t.IOFlat()
+}

@@ -1,0 +1,99 @@
+package glap
+
+import (
+	"github.com/glap-sim/glap/internal/gossip"
+	"github.com/glap-sim/glap/internal/qlearn"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// AsyncAggProtocolName registers the event-driven aggregation variant.
+const AsyncAggProtocolName = "glap-aggregate-async"
+
+// AsyncAggProtocol is the message-passing realisation of Algorithm 2: where
+// AggProtocol uses the simulator shortcut of merging both endpoint tables in
+// place, this variant exchanges real messages through a sim.Transport with
+// latency and possible loss — each endpoint sends a snapshot of its φ^io and
+// merges the snapshot it receives. Under loss an exchange may complete
+// one-sided; averaging remains a contraction, so the population still
+// converges to identical tables, just more slowly. The equivalence tests
+// pin exactly that behaviour.
+//
+// It operates on the Q store owned by LearnProtocol (same engine), like the
+// cycle-driven variant.
+type AsyncAggProtocol struct {
+	// Tr carries the snapshots.
+	Tr *sim.Transport
+	// Select picks the partner; nil defaults to Cyclon sampling.
+	Select gossip.PeerSelector
+
+	rng *sim.RNG
+}
+
+// tableSnapshot carries one endpoint's φ^io cells. Reply distinguishes the
+// passive endpoint's response (which must not trigger a further reply).
+type tableSnapshot struct {
+	Out, In map[qlearn.Key]float64
+	Reply   bool
+}
+
+func snapshotOf(t *NodeTables, reply bool) tableSnapshot {
+	return tableSnapshot{Out: t.Out.Flat(), In: t.In.Flat(), Reply: reply}
+}
+
+// mergeSnapshot folds a received snapshot into dst per Algorithm 2's
+// UPDATE: average cells present on both sides, adopt cells present only in
+// the snapshot.
+func mergeSnapshot(dst *NodeTables, snap tableSnapshot) {
+	apply := func(tbl *qlearn.Table, cells map[qlearn.Key]float64) {
+		for k, v := range cells {
+			if tbl.Has(k.S, k.A) {
+				tbl.Set(k.S, k.A, (tbl.Get(k.S, k.A)+v)/2)
+			} else {
+				tbl.Set(k.S, k.A, v)
+			}
+		}
+	}
+	apply(dst.Out, snap.Out)
+	apply(dst.In, snap.In)
+}
+
+// Name implements sim.Protocol and sim.Handler.
+func (a *AsyncAggProtocol) Name() string { return AsyncAggProtocolName }
+
+// Setup implements sim.Protocol; the Q store lives with the learning
+// component.
+func (a *AsyncAggProtocol) Setup(e *sim.Engine, n *sim.Node) any {
+	if a.rng == nil {
+		a.rng = e.RNG().Derive(0xa57a66)
+	}
+	return struct{}{}
+}
+
+// Round implements the active thread: push a snapshot to one partner.
+func (a *AsyncAggProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	sel := a.Select
+	if sel == nil {
+		sel = gossip.CyclonSelector
+	}
+	peer := sel(e, n, a.rng)
+	if peer < 0 {
+		return
+	}
+	a.Tr.Send(n.ID, peer, AsyncAggProtocolName, snapshotOf(TablesOf(e, n), false))
+}
+
+// Deliver implements sim.Handler: merge the received snapshot; if it was a
+// push, answer with our pre-merge state so the initiator converges too.
+func (a *AsyncAggProtocol) Deliver(e *sim.Engine, n *sim.Node, m sim.Message) {
+	snap, ok := m.Payload.(tableSnapshot)
+	if !ok {
+		return
+	}
+	mine := TablesOf(e, n)
+	if !snap.Reply {
+		// Respond with the state *before* merging, mirroring the
+		// synchronous exchange where both sides average the same pair.
+		a.Tr.Send(n.ID, m.From, AsyncAggProtocolName, snapshotOf(mine, true))
+	}
+	mergeSnapshot(mine, snap)
+}

@@ -1,0 +1,112 @@
+package glap
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+func newBenchCyclon() *cyclon.Protocol { return cyclon.New(20, 8) }
+
+func benchTrace(vms int) (*trace.Set, error) {
+	return trace.Generate(trace.DefaultGenConfig(vms, 200, 5))
+}
+
+// BenchmarkLearningRound measures one Algorithm 1 round over a 100-PM
+// cluster — the dominant cost of GLAP pre-training.
+func BenchmarkLearningRound(b *testing.B) {
+	cl := benchGenCluster(b, 100, 300)
+	e := sim.NewEngine(100, 1)
+	bd, err := policy.Bind(e, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	learn := &LearnProtocol{Cfg: DefaultConfig(), B: bd}
+	e.Register(newBenchCyclon())
+	e.Register(learn)
+	e.RunRounds(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+// BenchmarkAggregationRound measures one Algorithm 2 round (pairwise table
+// unification across the cluster).
+func BenchmarkAggregationRound(b *testing.B) {
+	cl := benchGenCluster(b, 100, 300)
+	e := sim.NewEngine(100, 1)
+	bd, err := policy.Bind(e, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Register(newBenchCyclon())
+	learn := &LearnProtocol{Cfg: DefaultConfig(), B: bd}
+	e.RegisterWindow(learn, 1, 0, 19) // populate tables first
+	e.Register(&AggProtocol{})
+	e.RunRounds(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+// BenchmarkConsolidationRound measures one Algorithm 3 round with converged
+// tables over a 200-PM cluster.
+func BenchmarkConsolidationRound(b *testing.B) {
+	pre := benchGenCluster(b, 50, 150)
+	res, err := Pretrain(Config{LearnRounds: 20, AggRounds: 10}, pre, 1, PretrainOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shared, err := SharedTables(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cl := benchGenCluster(b, 200, 600)
+	e := sim.NewEngine(200, 2)
+	bd, err := policy.Bind(e, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	InstallConsolidation(e, bd, shared, Config{}, PretrainOptions{})
+	e.RunRounds(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+func BenchmarkLevelOf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = LevelOf(float64(i%100) / 100)
+	}
+}
+
+func BenchmarkStatePack(b *testing.B) {
+	ls := Levels{X3High, Medium}
+	for i := 0; i < b.N; i++ {
+		_ = LevelsOfState(ls.State())
+	}
+}
+
+// helpers shared by the benchmarks (the test helpers take *testing.T).
+
+func benchGenCluster(b *testing.B, pms, vms int) *dc.Cluster {
+	b.Helper()
+	set, err := benchTrace(vms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := dc.New(dc.Config{PMs: pms, Workload: set})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := sim.NewRNG(7)
+	c.PlaceRandom(rng.Intn)
+	return c
+}

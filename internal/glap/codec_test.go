@@ -1,0 +1,79 @@
+package glap
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/qlearn"
+)
+
+func TestSaveLoadTables(t *testing.T) {
+	orig := &NodeTables{
+		Out:     qlearn.New(0.5, 0.8),
+		In:      qlearn.New(0.5, 0.8),
+		Trained: true,
+	}
+	orig.Out.Set(Levels{X3High, Medium}.State(), Levels{High, Low}.Action(), 42.5)
+	orig.In.Set(Levels{X5High, XHigh}.State(), Levels{Medium, Low}.Action(), -987)
+
+	var buf bytes.Buffer
+	if err := SaveTables(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadTables(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !qlearn.Equal(orig.Out, got.Out) || !qlearn.Equal(orig.In, got.In) {
+		t.Fatal("round-trip lost table contents")
+	}
+	if !got.Trained {
+		t.Fatal("round-trip lost Trained flag")
+	}
+}
+
+func TestSaveLoadEndToEnd(t *testing.T) {
+	// Pre-train a tiny cluster, checkpoint, restore, and verify the
+	// restored store drives consolidation identically to the original.
+	cl := genCluster(t, 12, 24, 60, 31)
+	pre, err := Pretrain(Config{LearnRounds: 20, AggRounds: 15}, cl, 31, PretrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := SharedTables(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveTables(&buf, shared); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadTables(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(tables *NodeTables) int64 {
+		cl := genCluster(t, 12, 24, 60, 31)
+		e, _ := installConsolidation(t, cl, tables, 77)
+		e.RunRounds(30)
+		return cl.Migrations
+	}
+	if a, b := run(shared), run(restored); a != b {
+		t.Fatalf("restored tables behave differently: %d vs %d migrations", a, b)
+	}
+}
+
+func TestLoadTablesErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "nope",
+		"bad version": `{"version":9,"out":{},"in":{}}`,
+		"bad inner":   `{"version":1,"out":{"version":1,"alpha":9,"gamma":0.5},"in":{"version":1,"alpha":0.5,"gamma":0.5}}`,
+	}
+	for name, in := range cases {
+		if _, err := LoadTables(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %q: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,203 @@
+package glap
+
+import (
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/gossip"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/qlearn"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/topology"
+)
+
+// ConsolidateProtocolName registers the Gossip Consolidation component.
+const ConsolidateProtocolName = "glap-consolidate"
+
+// ConsolidateProtocol is Algorithm 3: each round every PM push-pulls its
+// load state with one random neighbour. An overloaded endpoint sheds VMs
+// until it leaves the overloaded state; otherwise the endpoint with the
+// lower current utilisation acts as sender and migrates VMs — chosen by
+// π_out over φ^out — toward switching itself off. Each candidate migration
+// is vetted on the sender, on behalf of the target, by π_in over φ^in
+// (identical Q-values make this remote decision sound) plus the current-
+// demand capacity check, eliminating a round trip.
+type ConsolidateProtocol struct {
+	B *policy.Binding
+	// Tables returns the Q store for a node. Nil defaults to the learning
+	// component registered on the same engine (TablesOf). Pre-trained
+	// deployments inject tables here.
+	Tables func(e *sim.Engine, n *sim.Node) *NodeTables
+	// Select overrides the peer selector (defaults to Cyclon sampling).
+	Select gossip.PeerSelector
+	// CurrentDemandOnly mirrors Config.CurrentDemandOnly for the runtime
+	// decision states (ablation switch).
+	CurrentDemandOnly bool
+	// Topo, when set, activates the topology-aware direction rule: between
+	// two non-overloaded endpoints, the PM whose rack hosts fewer active
+	// machines empties first, so sparsely occupied racks drain completely
+	// and their edge switches can sleep. Rack occupancy is top-of-rack-
+	// local information, so a deployment can maintain it without any
+	// global view.
+	Topo *topology.Tree
+
+	rng *sim.RNG
+}
+
+// Name implements sim.Protocol.
+func (p *ConsolidateProtocol) Name() string { return ConsolidateProtocolName }
+
+// Setup implements sim.Protocol.
+func (p *ConsolidateProtocol) Setup(e *sim.Engine, n *sim.Node) any {
+	if p.rng == nil {
+		p.rng = e.RNG().Derive(0xc0501)
+	}
+	return struct{}{}
+}
+
+// pmState returns the decision state for a PM: average-demand based unless
+// the current-only ablation is active.
+func (p *ConsolidateProtocol) pmState(c *dc.Cluster, pm *dc.PM) qlearn.State {
+	if p.CurrentDemandOnly {
+		return PMStateCur(c, pm)
+	}
+	return PMStateAvg(c, pm)
+}
+
+// vmAction returns the calibrated action for a VM under the active mode.
+func (p *ConsolidateProtocol) vmAction(vm *dc.VM) qlearn.Action {
+	if p.CurrentDemandOnly {
+		return LevelsOf(vm.CurDemand()).Action()
+	}
+	return VMAction(vm)
+}
+
+func (p *ConsolidateProtocol) tables(e *sim.Engine, n *sim.Node) *NodeTables {
+	if p.Tables != nil {
+		return p.Tables(e, n)
+	}
+	return TablesOf(e, n)
+}
+
+// Round implements one push-pull interaction: the initiator and the passive
+// peer exchange states and both run UPDATESTATE (Algorithm 3, lines 1-17).
+func (p *ConsolidateProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	sel := p.Select
+	if sel == nil {
+		sel = gossip.CyclonSelector
+	}
+	peer := sel(e, n, p.rng)
+	if peer < 0 {
+		return
+	}
+	pmP := p.B.PM(n)
+	pmQ := p.B.C.PMs[peer]
+	p.updateState(e, n, pmP, pmQ)
+	p.updateState(e, e.Node(peer), pmQ, pmP)
+}
+
+// updateState runs Algorithm 3's UPDATESTATE for endpoint s against peer o.
+func (p *ConsolidateProtocol) updateState(e *sim.Engine, n *sim.Node, s, o *dc.PM) {
+	c := p.B.C
+	if !s.On() || !o.On() {
+		return
+	}
+	st := p.tables(e, n)
+	if c.Overloaded(s) {
+		// Shed VMs while overloaded (lines 12-13).
+		for c.Overloaded(s) {
+			if !p.migrateOne(st, s, o) {
+				return
+			}
+		}
+		return
+	}
+	if c.Overloaded(o) {
+		return
+	}
+	// The endpoint with the lower current utilisation empties itself
+	// (lines 14-16); ties break toward the lower ID so exactly one side
+	// acts. Under the topology extension, rack occupancy dominates the
+	// direction choice: the endpoint in the sparser rack is the sender.
+	if p.Topo != nil && !p.Topo.SameRack(s.ID, o.ID) {
+		sr, or := p.rackActive(s.ID), p.rackActive(o.ID)
+		switch {
+		case sr < or:
+			// s's rack is sparser: s is the sender; fall through.
+		case sr > or:
+			return
+		case p.Topo.RackOf(s.ID) < p.Topo.RackOf(o.ID):
+			// Equal occupancy: drain the higher-numbered rack toward the
+			// lower one. The fixed gradient gives otherwise-symmetric racks
+			// a consistent draining order using only local information.
+			return
+		}
+	} else if !lowerUtil(c, s, o) {
+		return
+	}
+	for s.NumVMs() > 0 {
+		if !p.migrateOne(st, s, o) {
+			return
+		}
+	}
+	_ = p.B.TryPowerOffIfEmpty(s.ID)
+}
+
+// lowerUtil reports whether s has strictly lower current utilisation than o
+// (ties break toward the lower ID, so exactly one endpoint acts per pair).
+func lowerUtil(c *dc.Cluster, s, o *dc.PM) bool {
+	su, ou := c.CurUtil(s).Avg(), c.CurUtil(o).Avg()
+	return su < ou || (su == ou && s.ID < o.ID)
+}
+
+// rackActive counts the powered PMs in pm's rack.
+func (p *ConsolidateProtocol) rackActive(pm int) int {
+	rack := p.Topo.RackOf(pm)
+	lo := rack * p.Topo.PMsPerRack
+	hi := lo + p.Topo.PMsPerRack
+	if hi > len(p.B.C.PMs) {
+		hi = len(p.B.C.PMs)
+	}
+	n := 0
+	for i := lo; i < hi; i++ {
+		if p.B.C.PMs[i].On() {
+			n++
+		}
+	}
+	return n
+}
+
+// migrateOne performs one MIGRATE() step (Algorithm 3, lines 18-24) from s
+// to o and reports whether a VM moved. It picks the action with the highest
+// φ^out value among the sender's available VMs, breaks ties toward the VM
+// with the cheapest migration, and aborts when π_in rejects the action for
+// the target's state or the target lacks capacity for the VM's current
+// demand.
+func (p *ConsolidateProtocol) migrateOne(st *NodeTables, s, o *dc.PM) bool {
+	c := p.B.C
+	vms := p.B.VMsOf(s)
+	if len(vms) == 0 {
+		return false
+	}
+	// Group available VMs by calibrated action.
+	byAction := make(map[qlearn.Action][]*dc.VM)
+	actions := make([]qlearn.Action, 0, 4)
+	for _, vm := range vms {
+		a := p.vmAction(vm)
+		if _, seen := byAction[a]; !seen {
+			actions = append(actions, a)
+		}
+		byAction[a] = append(byAction[a], vm)
+	}
+	a, _, ok := st.Out.Best(p.pmState(c, s), actions)
+	if !ok {
+		return false
+	}
+	vm := policy.CheapestToMigrate(byAction[a])
+	// π_in: the sender decides for the target using the shared φ^in.
+	if st.In.Get(p.pmState(c, o), a) < 0 {
+		return false
+	}
+	if !c.FitsCur(vm, o) {
+		return false
+	}
+	return c.Migrate(vm, o) == nil
+}

@@ -1,0 +1,88 @@
+package glap
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+func TestInstallContinuousValidation(t *testing.T) {
+	cl := genCluster(t, 4, 8, 10, 1)
+	e := sim.NewEngine(4, 1)
+	b, err := policy.Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{LearnRounds: 10, AggRounds: 5}
+	if _, err := InstallContinuous(e, b, cfg, 10, PretrainOptions{}); err == nil {
+		t.Fatal("cycle shorter than learning phase should fail")
+	}
+	if _, err := InstallContinuous(e, b, Config{Alpha: 9}, 1000, PretrainOptions{}); err == nil {
+		t.Fatal("invalid config should fail")
+	}
+}
+
+func TestInstallContinuousRelearns(t *testing.T) {
+	cl := genCluster(t, 16, 32, 200, 23)
+	e := sim.NewEngine(16, 23)
+	b, err := policy.Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{LearnRounds: 15, AggRounds: 10}
+	if _, err := InstallContinuous(e, b, cfg, 60, PretrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Track Q-cell growth over time: after the first cycle the tables are
+	// populated; a later re-learning cycle must keep them fresh (cell count
+	// never resets, values keep being updated).
+	sizeAt := map[int]int{}
+	e.Observe(func(e *sim.Engine, round int) {
+		if round == 30 || round == 85 || round == 145 {
+			total := 0
+			for _, n := range e.Nodes() {
+				tb := TablesOf(e, n)
+				total += tb.Out.Len() + tb.In.Len()
+			}
+			sizeAt[round] = total
+		}
+	})
+	e.RunRounds(150)
+
+	if sizeAt[30] == 0 {
+		t.Fatal("no Q-cells after first learning cycle")
+	}
+	if sizeAt[85] < sizeAt[30] || sizeAt[145] < sizeAt[85] {
+		t.Fatalf("Q coverage shrank across re-learning cycles: %v", sizeAt)
+	}
+	// Consolidation ran alongside: PMs were switched off.
+	if cl.ActivePMs() >= 16 {
+		t.Fatal("continuous stack did not consolidate")
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Migrations == 0 {
+		t.Fatal("no migrations under continuous deployment")
+	}
+}
+
+func TestInstallContinuousConsolidationWaitsForTables(t *testing.T) {
+	// Consolidation must not act before the first learning cycle ends.
+	cl := genCluster(t, 8, 16, 100, 29)
+	e := sim.NewEngine(8, 29)
+	b, err := policy.Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{LearnRounds: 20, AggRounds: 10}
+	if _, err := InstallContinuous(e, b, cfg, 100, PretrainOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	e.RunRounds(29) // one round short of the consolidation start
+	if cl.Migrations != 0 {
+		t.Fatalf("%d migrations before pre-training completed", cl.Migrations)
+	}
+}

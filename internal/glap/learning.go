@@ -1,0 +1,231 @@
+package glap
+
+import (
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/qlearn"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// LearnProtocolName registers the Gossip Learning component.
+const LearnProtocolName = "glap-learn"
+
+// NodeTables is a PM's Q-value store: the φ^out and φ^in tables plus a flag
+// recording whether this node ran local training (PMs above the utilisation
+// threshold end the learning phase without any Q-values and only obtain them
+// through aggregation).
+type NodeTables struct {
+	Out *qlearn.Table
+	In  *qlearn.Table
+	// Trained is set once the node executed at least one local training
+	// round.
+	Trained bool
+}
+
+// Clone deep-copies the store.
+func (t *NodeTables) Clone() *NodeTables {
+	return &NodeTables{Out: t.Out.Clone(), In: t.In.Clone(), Trained: t.Trained}
+}
+
+// IOFlat flattens both tables into one sparse vector (the paper's
+// φ^io = φ^in ∪ φ^out) for cosine-similarity measurement. In-cells and
+// out-cells are namespaced so they never collide.
+func (t *NodeTables) IOFlat() map[IOKey]float64 {
+	out := make(map[IOKey]float64, t.Out.Len()+t.In.Len())
+	for k, v := range t.Out.Flat() {
+		out[IOKey{Key: k}] = v
+	}
+	for k, v := range t.In.Flat() {
+		out[IOKey{Key: k, In: true}] = v
+	}
+	return out
+}
+
+// IOKey namespaces a Q-table cell by table direction.
+type IOKey struct {
+	qlearn.Key
+	In bool
+}
+
+// profile is a VM workload profile exchanged during the learning phase:
+// current and average demand fractions plus the VM's nominal capacity.
+type profile struct {
+	cur, avg dc.Vec
+	cap      dc.Vec
+}
+
+func profileOf(vm *dc.VM) profile {
+	return profile{cur: vm.CurDemand(), avg: vm.AvgDemand(), cap: vm.Spec.Capacity}
+}
+
+// LearnProtocol is Algorithm 1: within each learning round, every PM whose
+// load permits collects the VM profiles of one random neighbour, merges them
+// with its own, duplicates them to cover heavily loaded states, and then
+// simulates k sender/recipient migrations, updating φ^out and φ^in with
+// Equation 1.
+type LearnProtocol struct {
+	Cfg Config
+	B   *policy.Binding
+
+	rng *sim.RNG
+}
+
+// Name implements sim.Protocol.
+func (l *LearnProtocol) Name() string { return LearnProtocolName }
+
+// Setup creates the node's empty Q store.
+func (l *LearnProtocol) Setup(e *sim.Engine, n *sim.Node) any {
+	if l.rng == nil {
+		l.rng = e.RNG().Derive(0x61ea51)
+	}
+	return &NodeTables{
+		Out: qlearn.New(l.Cfg.Alpha, l.Cfg.Gamma),
+		In:  qlearn.New(l.Cfg.Alpha, l.Cfg.Gamma),
+	}
+}
+
+// TablesOf returns node n's Q store.
+func TablesOf(e *sim.Engine, n *sim.Node) *NodeTables {
+	return e.State(LearnProtocolName, n).(*NodeTables)
+}
+
+// Round implements one local training round (Algorithm 1 body).
+func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	c := l.B.C
+	pm := l.B.PM(n)
+	// Only lightly loaded PMs train, to avoid impacting collocated VMs.
+	if c.AvgUtil(pm)[dc.CPU] > l.Cfg.LearnUtilThreshold {
+		return
+	}
+
+	// Collect profiles: local VMs plus the VMs of one random neighbour.
+	var profiles []profile
+	for _, vm := range l.B.VMsOf(pm) {
+		profiles = append(profiles, profileOf(vm))
+	}
+	if peer := cyclon.SelectPeer(e, n, l.rng); peer >= 0 {
+		for _, vm := range l.B.VMsOf(c.PMs[peer]) {
+			profiles = append(profiles, profileOf(vm))
+		}
+	}
+	if len(profiles) == 0 {
+		return
+	}
+
+	// Duplicate profiles until the aggregate average CPU demand reaches
+	// DuplicationTargetUtil of PM capacity so that high and overloaded
+	// states are visited during training.
+	profiles = duplicateToCover(profiles, pm.Spec.Capacity, l.Cfg.DuplicationTargetUtil)
+
+	st := TablesOf(e, n)
+	for it := 0; it < l.Cfg.LearnIterations; it++ {
+		l.trainOnce(st, profiles, pm.Spec.Capacity)
+	}
+	st.Trained = true
+}
+
+// duplicateToCover replicates the profile set until its aggregate average
+// CPU demand reaches target × capacity.
+func duplicateToCover(ps []profile, cap dc.Vec, target float64) []profile {
+	sumCPU := 0.0
+	for _, p := range ps {
+		sumCPU += p.avg[dc.CPU] * p.cap[dc.CPU]
+	}
+	if sumCPU <= 0 {
+		return ps
+	}
+	base := len(ps)
+	for sumCPU < target*cap[dc.CPU] && len(ps) < 64*base {
+		for i := 0; i < base && sumCPU < target*cap[dc.CPU]; i++ {
+			ps = append(ps, ps[i])
+			sumCPU += ps[i].avg[dc.CPU] * ps[i].cap[dc.CPU]
+		}
+	}
+	return ps
+}
+
+// trainOnce performs one simulated migration: partition the profiles into a
+// virtual sender and a virtual recipient, move one random sender VM, and
+// apply updateOUT / updateIN per Equation 1. Pre-action states use average
+// demand; post-action states use current demand (Figure 3).
+func (l *LearnProtocol) trainOnce(st *NodeTables, profiles []profile, cap dc.Vec) {
+	// Random partition with a freshly drawn split bias per iteration so
+	// the virtual recipient's pre-state sweeps the whole load range — from
+	// nearly empty to beyond capacity — and the high states that matter
+	// for rejection decisions are actually visited during training.
+	var sender, target []int
+	pSender := 0.15 + 0.7*l.rng.Float64()
+	for attempt := 0; attempt < 8; attempt++ {
+		sender, target = sender[:0], target[:0]
+		for i := range profiles {
+			if l.rng.Bernoulli(pSender) {
+				sender = append(sender, i)
+			} else {
+				target = append(target, i)
+			}
+		}
+		if len(sender) > 0 {
+			break
+		}
+	}
+	if len(sender) == 0 {
+		return
+	}
+	pick := sender[l.rng.Intn(len(sender))]
+	vm := profiles[pick]
+	useAvg := !l.Cfg.CurrentDemandOnly
+	actionDemand := vm.avg
+	if !useAvg {
+		actionDemand = vm.cur
+	}
+	action := LevelsOf(actionDemand).Action()
+
+	// updateOUT: the sender's transition after evicting vm.
+	sBefore := aggStateIdx(profiles, sender, -1, nil, cap, useAvg)
+	sAfter := aggStateIdx(profiles, sender, pick, nil, cap, false)
+	l.updateOut(st.Out, sBefore, action, sAfter)
+
+	// updateIN: the recipient's transition after accepting vm.
+	tBefore := aggStateIdx(profiles, target, -1, nil, cap, useAvg)
+	tAfter := aggStateIdx(profiles, target, -1, &vm, cap, false)
+	l.updateIn(st.In, tBefore, action, tAfter)
+}
+
+// aggStateIdx aggregates profiles[idx] for idx in subset (skipping skip),
+// plus extra, into a calibrated state.
+func aggStateIdx(profiles []profile, subset []int, skip int, extra *profile, cap dc.Vec, useAvg bool) qlearn.State {
+	var sum dc.Vec
+	for _, i := range subset {
+		if i == skip {
+			continue
+		}
+		d := profiles[i].cur
+		if useAvg {
+			d = profiles[i].avg
+		}
+		for r := 0; r < dc.NumResources; r++ {
+			sum[r] += d[r] * profiles[i].cap[r]
+		}
+	}
+	if extra != nil {
+		d := extra.cur
+		if useAvg {
+			d = extra.avg
+		}
+		for r := 0; r < dc.NumResources; r++ {
+			sum[r] += d[r] * extra.cap[r]
+		}
+	}
+	return LevelsOf(sum.Div(cap)).State()
+}
+
+func (l *LearnProtocol) updateOut(out *qlearn.Table, s qlearn.State, a qlearn.Action, next qlearn.State) {
+	r := l.Cfg.RewardOut.Of(LevelsOfState(next))
+	out.Update(s, a, r, next)
+}
+
+func (l *LearnProtocol) updateIn(in *qlearn.Table, s qlearn.State, a qlearn.Action, next qlearn.State) {
+	r := l.Cfg.RewardIn.Of(LevelsOfState(next))
+	in.Update(s, a, r, next)
+}

@@ -1,0 +1,68 @@
+package glap
+
+// GLAP is written against a peer-sampling abstraction; these tests verify
+// the consolidation outcome does not hinge on the specific overlay (Cyclon
+// vs Newscast), supporting the paper's premise that any random peer
+// sampling service suffices.
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/newscast"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+func TestConsolidationOverNewscast(t *testing.T) {
+	pre := genCluster(t, 20, 40, 80, 53)
+	res, err := Pretrain(Config{LearnRounds: 20, AggRounds: 15}, pre, 53, PretrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := SharedTables(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runWith := func(useNewscast bool) int {
+		cl := genCluster(t, 20, 40, 80, 53)
+		e := sim.NewEngine(20, 99)
+		b, err := policy.Bind(e, cl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cons := &ConsolidateProtocol{
+			B:      b,
+			Tables: func(e *sim.Engine, n *sim.Node) *NodeTables { return shared },
+		}
+		if useNewscast {
+			e.Register(newscast.New(8))
+			cons.Select = newscast.Selector
+		} else {
+			e.Register(cyclon.New(8, 4))
+		}
+		e.Register(cons)
+		e.RunRounds(40)
+		if err := cl.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		return cl.ActivePMs()
+	}
+
+	cyclonActive := runWith(false)
+	newscastActive := runWith(true)
+	if cyclonActive >= 20 || newscastActive >= 20 {
+		t.Fatalf("no consolidation: cyclon=%d newscast=%d", cyclonActive, newscastActive)
+	}
+	// The overlays should reach comparable packings (same tables, same
+	// workload, random pairings differ).
+	diff := cyclonActive - newscastActive
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 5 {
+		t.Fatalf("overlay choice changed the outcome materially: cyclon=%d newscast=%d",
+			cyclonActive, newscastActive)
+	}
+}

@@ -1,0 +1,104 @@
+package glap
+
+// Property-style tests on invariants of the learned Q-values.
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// trainedTables runs a learning-only stack and pools every node's tables.
+func trainedTables(t *testing.T, seed uint64) []*NodeTables {
+	t.Helper()
+	cl := genCluster(t, 16, 48, 60, seed)
+	e := sim.NewEngine(16, seed)
+	b, err := policy.Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Register(cyclon.New(8, 4))
+	e.Register(&LearnProtocol{Cfg: DefaultConfig(), B: b})
+	e.RunRounds(30)
+	var out []*NodeTables
+	for _, n := range e.Nodes() {
+		out = append(out, TablesOf(e, n))
+	}
+	return out
+}
+
+func TestOutTableValuesNonNegativeAndBounded(t *testing.T) {
+	// R_out is positive everywhere, Q starts at 0 and the update is a
+	// convex combination with a positive target, so out-values must stay
+	// in [0, Rmax/(1-γ)].
+	cfg := DefaultConfig()
+	rmax := 0.0
+	for _, r := range cfg.RewardOut {
+		if 2*r > rmax { // two resources aggregate
+			rmax = 2 * r
+		}
+	}
+	bound := rmax / (1 - cfg.Gamma)
+	for _, tb := range trainedTables(t, 3) {
+		for _, k := range tb.Out.Keys() {
+			v := tb.Out.Get(k.S, k.A)
+			if v < 0 {
+				t.Fatalf("negative out-value %g at %v", v, k)
+			}
+			if v > bound+1e-9 {
+				t.Fatalf("out-value %g exceeds Bellman bound %g", v, bound)
+			}
+		}
+	}
+}
+
+func TestInTableValuesBoundedBelow(t *testing.T) {
+	// The most negative reachable in-value is bounded by the Bellman
+	// fixed point with the full overload penalty on both resources.
+	cfg := DefaultConfig()
+	worstReward := 2 * cfg.RewardIn[Overload] // both resources overloaded
+	lower := worstReward / (1 - cfg.Gamma)
+	for _, tb := range trainedTables(t, 5) {
+		for _, k := range tb.In.Keys() {
+			v := tb.In.Get(k.S, k.A)
+			if v < lower-1e-9 {
+				t.Fatalf("in-value %g below Bellman lower bound %g", v, lower)
+			}
+		}
+	}
+}
+
+func TestStatesWithinCalibratedSpace(t *testing.T) {
+	// Every learned cell's state and action must decode to valid level
+	// pairs (membership in the 81-element calibrated space).
+	for _, tb := range trainedTables(t, 7) {
+		check := func(kS, kA uint32) {
+			if kS >= 81 || kA >= 81 {
+				t.Fatalf("cell (%d, %d) outside the 81x81 space", kS, kA)
+			}
+		}
+		for _, k := range tb.Out.Keys() {
+			check(uint32(k.S), uint32(k.A))
+		}
+		for _, k := range tb.In.Keys() {
+			check(uint32(k.S), uint32(k.A))
+		}
+	}
+}
+
+func TestLearningIsDeterministic(t *testing.T) {
+	a := trainedTables(t, 11)
+	b := trainedTables(t, 11)
+	for i := range a {
+		if a[i].Out.Len() != b[i].Out.Len() || a[i].In.Len() != b[i].In.Len() {
+			t.Fatalf("node %d tables differ across identical runs", i)
+		}
+		for _, k := range a[i].Out.Keys() {
+			if a[i].Out.Get(k.S, k.A) != b[i].Out.Get(k.S, k.A) {
+				t.Fatalf("node %d out cell %v differs", i, k)
+			}
+		}
+	}
+}

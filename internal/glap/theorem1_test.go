@@ -1,0 +1,88 @@
+package glap
+
+// Empirical validation of Theorem 1: the gossip aggregation process
+// repeatedly averages Q-values drawn from random nodes, and the resulting
+// per-node value X = x0/2^n + x1/2^n + x2/2^(n-1) + ... + xn/2 converges in
+// distribution to a normal as the number of rounds grows, by the
+// Lindeberg/Lyapunov CLT. We reproduce the theorem's setting directly — a
+// population of i.i.d. NON-normal initial values repeatedly pair-averaged by
+// push-pull gossip — and check normality of the resulting cross-node value
+// distribution with the Jarque-Bera statistic.
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/gossip"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+// theorem1Values runs a scalar push-pull averaging epidemic over n nodes
+// whose initial values are drawn from a highly skewed (exponential-like)
+// distribution, stops after `rounds` rounds — mid-convergence, where the
+// theorem's distributional claim applies — and returns the node values
+// re-centred and re-scaled.
+func theorem1Values(t *testing.T, n, rounds int, seed uint64) []float64 {
+	t.Helper()
+	e := sim.NewEngine(n, seed)
+	rng := sim.NewRNG(seed).Derive(42)
+	avg := gossip.NewAverage("t1", func(e *sim.Engine, node *sim.Node) float64 {
+		// Squared-uniform initial values: strongly right-skewed, far from
+		// normal (JB rejects decisively for n = 1000).
+		u := rng.Float64()
+		return u * u * 100
+	}, gossip.UniformSelector)
+	e.Register(avg)
+	e.RunRounds(rounds)
+	out := make([]float64, n)
+	for i, node := range e.Nodes() {
+		out[i] = gossip.StateOf[*gossip.Scalar](e, "t1", node).V
+	}
+	return out
+}
+
+func TestTheorem1InitialDistributionNotNormal(t *testing.T) {
+	xs := theorem1Values(t, 1000, 0, 7)
+	if jb := stats.JarqueBera(xs); jb < 50 {
+		t.Fatalf("initial skewed distribution unexpectedly normal: JB=%g", jb)
+	}
+}
+
+func TestTheorem1AggregationNormalizes(t *testing.T) {
+	// After a few gossip rounds each node's value is a weighted sum of
+	// several independent initial values; the JB statistic must collapse
+	// by orders of magnitude relative to round 0.
+	before := stats.JarqueBera(theorem1Values(t, 1000, 0, 7))
+	after := stats.JarqueBera(theorem1Values(t, 1000, 6, 7))
+	if after > before/2 {
+		t.Fatalf("JB did not collapse: before=%g after=%g", before, after)
+	}
+	// Skewness must also shrink toward 0.
+	skewBefore := stats.Skewness(theorem1Values(t, 1000, 0, 7))
+	skewAfter := stats.Skewness(theorem1Values(t, 1000, 6, 7))
+	if abs64(skewAfter) > abs64(skewBefore)/2 {
+		t.Fatalf("skewness did not shrink: %g -> %g", skewBefore, skewAfter)
+	}
+}
+
+func TestTheorem1MeanPreserved(t *testing.T) {
+	// The aggregation must preserve the expectation u_x (mass
+	// conservation of push-pull averaging).
+	before := theorem1Values(t, 500, 0, 9)
+	after := theorem1Values(t, 500, 8, 9)
+	mb, ma := stats.Mean(before), stats.Mean(after)
+	if abs64(mb-ma) > 1e-6 {
+		t.Fatalf("mean not preserved: %g -> %g", mb, ma)
+	}
+	// And the variance must shrink monotonically toward 0 (consensus).
+	if stats.Variance(after) >= stats.Variance(before) {
+		t.Fatal("variance did not shrink under aggregation")
+	}
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,82 @@
+package gossip
+
+import (
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// AsyncAverage is the event-driven (message-passing) counterpart of
+// NewAverage: instead of the simulator shortcut of merging both endpoint
+// states in place, endpoints exchange real messages through a Transport
+// with latency and possible loss.
+//
+// The exchange transfers *mass deltas*, which makes it exact under
+// asynchrony: on a push carrying the sender's value a, the receiver moves
+// delta = (a-b)/2 into its own value and returns delta to the sender, who
+// subtracts it from whatever its value is by then. Every message pair moves
+// mass without creating or destroying it, so the network-wide sum is
+// invariant even when exchanges interleave arbitrarily — only a *lost*
+// reply leaks mass, which the loss tests quantify.
+type AsyncAverage struct {
+	// ProtoName registers both the round protocol and the message handler.
+	ProtoName string
+	// Tr carries the messages.
+	Tr *sim.Transport
+	// Init produces the initial value per node.
+	Init func(e *sim.Engine, n *sim.Node) float64
+	// Select picks the gossip partner; nil defaults to UniformSelector
+	// (the async protocol is usually exercised without a Cyclon overlay).
+	Select PeerSelector
+
+	rng *sim.RNG
+}
+
+// asyncState is the per-node value cell.
+type asyncState struct {
+	V float64
+}
+
+type pushMsg struct{ V float64 }
+type replyMsg struct{ Delta float64 }
+
+// Name implements sim.Protocol and sim.Handler.
+func (a *AsyncAverage) Name() string { return a.ProtoName }
+
+// Setup implements sim.Protocol.
+func (a *AsyncAverage) Setup(e *sim.Engine, n *sim.Node) any {
+	if a.rng == nil {
+		a.rng = e.RNG().Derive(0xa57c, hashName(a.ProtoName))
+	}
+	return &asyncState{V: a.Init(e, n)}
+}
+
+// Round implements the active thread: push the current value to one peer.
+func (a *AsyncAverage) Round(e *sim.Engine, n *sim.Node, round int) {
+	sel := a.Select
+	if sel == nil {
+		sel = UniformSelector
+	}
+	peer := sel(e, n, a.rng)
+	if peer < 0 {
+		return
+	}
+	st := e.State(a.ProtoName, n).(*asyncState)
+	a.Tr.Send(n.ID, peer, a.ProtoName, pushMsg{V: st.V})
+}
+
+// Deliver implements sim.Handler.
+func (a *AsyncAverage) Deliver(e *sim.Engine, n *sim.Node, m sim.Message) {
+	st := e.State(a.ProtoName, n).(*asyncState)
+	switch p := m.Payload.(type) {
+	case pushMsg:
+		delta := (p.V - st.V) / 2
+		st.V += delta
+		a.Tr.Send(n.ID, m.From, a.ProtoName, replyMsg{Delta: delta})
+	case replyMsg:
+		st.V -= p.Delta
+	}
+}
+
+// Value returns node n's current estimate.
+func (a *AsyncAverage) Value(e *sim.Engine, n *sim.Node) float64 {
+	return e.State(a.ProtoName, n).(*asyncState).V
+}

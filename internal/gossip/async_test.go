@@ -1,0 +1,126 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// runAsync builds and runs an AsyncAverage epidemic over n nodes with the
+// given latency model and drop probability; returns the protocol and engine.
+func runAsync(t *testing.T, n, rounds int, seed uint64, latency sim.LatencyFunc, drop float64) (*AsyncAverage, *sim.Engine) {
+	t.Helper()
+	e := sim.NewEngine(n, seed)
+	tr := sim.NewTransport(e, latency)
+	tr.DropProb = drop
+	avg := &AsyncAverage{
+		ProtoName: "async-avg",
+		Tr:        tr,
+		Init:      func(e *sim.Engine, node *sim.Node) float64 { return float64(node.ID) },
+	}
+	tr.Handle(avg)
+	e.Register(avg)
+	e.RunRounds(rounds)
+	e.RunEvents(-1) // drain in-flight messages
+	return avg, e
+}
+
+func sumValues(a *AsyncAverage, e *sim.Engine) float64 {
+	s := 0.0
+	for _, n := range e.Nodes() {
+		s += a.Value(e, n)
+	}
+	return s
+}
+
+func TestAsyncAverageConservesMass(t *testing.T) {
+	const n = 40
+	avg, e := runAsync(t, n, 30, 1, sim.ConstantLatency(7), 0)
+	want := float64(n*(n-1)) / 2
+	if got := sumValues(avg, e); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("mass %g, want %g", got, want)
+	}
+}
+
+func TestAsyncAverageConverges(t *testing.T) {
+	const n = 40
+	avg, e := runAsync(t, n, 60, 2, sim.ConstantLatency(3), 0)
+	mean := float64(n-1) / 2
+	for _, node := range e.Nodes() {
+		if got := avg.Value(e, node); math.Abs(got-mean) > 1.5 {
+			t.Fatalf("node %d at %g, want ~%g", node.ID, got, mean)
+		}
+	}
+}
+
+func TestAsyncAverageRandomLatency(t *testing.T) {
+	// Heavily jittered delivery must not break conservation: deltas are
+	// applied against whatever value the node has when the reply lands.
+	const n = 30
+	rng := sim.NewRNG(9)
+	avg, e := runAsync(t, n, 50, 3, sim.UniformLatency(rng, 1, 500), 0)
+	want := float64(n*(n-1)) / 2
+	if got := sumValues(avg, e); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("mass %g under jitter, want %g", got, want)
+	}
+}
+
+func TestAsyncAverageLossLeaksBoundedMass(t *testing.T) {
+	// With message loss, only the delta in a lost reply leaks. The drift
+	// must stay small relative to the total mass, and the protocol must
+	// not blow up.
+	const n = 30
+	avg, e := runAsync(t, n, 40, 4, sim.ConstantLatency(2), 0.05)
+	want := float64(n*(n-1)) / 2
+	got := sumValues(avg, e)
+	if math.Abs(got-want) > want/4 {
+		t.Fatalf("loss leaked too much mass: %g vs %g", got, want)
+	}
+	for _, node := range e.Nodes() {
+		v := avg.Value(e, node)
+		if v < -float64(n) || v > 2*float64(n) {
+			t.Fatalf("node %d diverged to %g", node.ID, v)
+		}
+	}
+}
+
+func TestAsyncMatchesSyncFixedPoint(t *testing.T) {
+	// The async and in-place (cycle-driven) averaging protocols must agree
+	// on the limit: the initial mean.
+	const n = 24
+	eSync := sim.NewEngine(n, 5)
+	sync := NewAverage("sync", func(e *sim.Engine, node *sim.Node) float64 {
+		return float64(node.ID * node.ID)
+	}, UniformSelector)
+	eSync.Register(sync)
+	eSync.RunRounds(60)
+
+	eAsync := sim.NewEngine(n, 5)
+	tr := sim.NewTransport(eAsync, sim.ConstantLatency(5))
+	async := &AsyncAverage{
+		ProtoName: "async",
+		Tr:        tr,
+		Init:      func(e *sim.Engine, node *sim.Node) float64 { return float64(node.ID * node.ID) },
+	}
+	tr.Handle(async)
+	eAsync.Register(async)
+	eAsync.RunRounds(120)
+	eAsync.RunEvents(-1)
+
+	var want float64
+	for i := 0; i < n; i++ {
+		want += float64(i * i)
+	}
+	want /= n
+	for _, node := range eAsync.Nodes() {
+		if got := async.Value(eAsync, node); math.Abs(got-want) > want/10 {
+			t.Fatalf("async node %d at %g, want ~%g", node.ID, got, want)
+		}
+	}
+	for _, node := range eSync.Nodes() {
+		if got := StateOf[*Scalar](eSync, "sync", node).V; math.Abs(got-want) > want/10 {
+			t.Fatalf("sync node %d at %g, want ~%g", node.ID, got, want)
+		}
+	}
+}

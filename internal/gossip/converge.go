@@ -1,0 +1,76 @@
+package gossip
+
+import (
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+// VectorFunc extracts a sparse vector from a node for similarity
+// measurement; nodes returning nil are skipped (e.g. PMs that never ran the
+// learning phase).
+type VectorFunc[K comparable] func(e *sim.Engine, n *sim.Node) map[K]float64
+
+// MeanPairwiseCosine estimates how close the per-node vectors are to
+// identical by averaging the cosine similarity over `pairs` random pairs of
+// distinct up nodes with non-nil vectors. This is the convergence metric of
+// the Figure 5 experiment. It returns 1 for fewer than two eligible nodes
+// (a single holder is trivially converged).
+func MeanPairwiseCosine[K comparable](e *sim.Engine, vec VectorFunc[K], pairs int, rng *sim.RNG) float64 {
+	var holders []*sim.Node
+	vecs := make(map[int]map[K]float64)
+	for _, n := range e.Nodes() {
+		if !n.Up() {
+			continue
+		}
+		if v := vec(e, n); v != nil && len(v) > 0 {
+			holders = append(holders, n)
+			vecs[n.ID] = v
+		}
+	}
+	if len(holders) < 2 {
+		return 1
+	}
+	if pairs <= 0 {
+		pairs = 64
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < pairs; i++ {
+		a := holders[rng.Intn(len(holders))]
+		b := holders[rng.Intn(len(holders))]
+		if a.ID == b.ID {
+			continue
+		}
+		sum += stats.CosineMaps(vecs[a.ID], vecs[b.ID])
+		cnt++
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / float64(cnt)
+}
+
+// AllPairsCosine computes the exact mean pairwise cosine similarity across
+// all pairs of eligible nodes; O(n^2) and intended for small networks and
+// tests.
+func AllPairsCosine[K comparable](e *sim.Engine, vec VectorFunc[K]) float64 {
+	var vecs []map[K]float64
+	for _, n := range e.Nodes() {
+		if !n.Up() {
+			continue
+		}
+		if v := vec(e, n); v != nil && len(v) > 0 {
+			vecs = append(vecs, v)
+		}
+	}
+	if len(vecs) < 2 {
+		return 1
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			sum += stats.CosineMaps(vecs[i], vecs[j])
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}

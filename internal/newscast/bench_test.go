@@ -1,0 +1,19 @@
+package newscast
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// BenchmarkExchangeRound measures one Newscast round over 1000 nodes with
+// the default view size.
+func BenchmarkExchangeRound(b *testing.B) {
+	e := sim.NewEngine(1000, 1)
+	e.Register(New(20))
+	e.RunRounds(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}

@@ -1,0 +1,181 @@
+// Package newscast implements the Newscast membership protocol (Jelasity &
+// van Steen): each node keeps a view of (peer, heartbeat) entries; once per
+// round it picks a random peer from its view, the two nodes exchange full
+// views plus fresh self-entries, and each keeps the c freshest entries.
+//
+// Newscast is the other standard peer-sampling service shipped with PeerSim
+// (next to Cyclon). The GLAP stack is written against a PeerSelector
+// abstraction, so either overlay can drive it; the comparison tests verify
+// the consolidation outcome is insensitive to the choice, which supports
+// the paper's claim that GLAP only needs *a* random peer-sampling service.
+package newscast
+
+import (
+	"sort"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// ProtocolName registers the Newscast protocol.
+const ProtocolName = "newscast"
+
+// Entry is one view item: a peer and the (virtual) time its descriptor was
+// created. Fresher entries win.
+type Entry struct {
+	Peer int
+	Time int
+}
+
+// View is a node's partial view, kept sorted by descending freshness.
+type View struct {
+	entries []Entry
+}
+
+// Len returns the number of entries.
+func (v *View) Len() int { return len(v.entries) }
+
+// Peers returns the peer ids in the view.
+func (v *View) Peers() []int {
+	out := make([]int, len(v.entries))
+	for i, e := range v.entries {
+		out[i] = e.Peer
+	}
+	return out
+}
+
+// Contains reports whether peer is in the view.
+func (v *View) Contains(peer int) bool {
+	for _, e := range v.entries {
+		if e.Peer == peer {
+			return true
+		}
+	}
+	return false
+}
+
+// Protocol is the Newscast protocol.
+type Protocol struct {
+	// ViewSize is the number of entries kept after each merge (typical:
+	// 20).
+	ViewSize int
+
+	rng *sim.RNG
+}
+
+// New returns a Newscast protocol with the given view size.
+func New(viewSize int) *Protocol {
+	if viewSize <= 0 {
+		viewSize = 20
+	}
+	return &Protocol{ViewSize: viewSize}
+}
+
+// Name implements sim.Protocol.
+func (p *Protocol) Name() string { return ProtocolName }
+
+// Setup bootstraps the view with random peers at heartbeat 0.
+func (p *Protocol) Setup(e *sim.Engine, n *sim.Node) any {
+	if p.rng == nil {
+		p.rng = e.RNG().Derive(0x4e05ca)
+	}
+	v := &View{}
+	size := p.ViewSize
+	if size > e.N()-1 {
+		size = e.N() - 1
+	}
+	for v.Len() < size {
+		peer := p.rng.Intn(e.N())
+		if peer == n.ID || v.Contains(peer) {
+			continue
+		}
+		v.entries = append(v.entries, Entry{Peer: peer})
+	}
+	return v
+}
+
+func viewOf(e *sim.Engine, n *sim.Node) *View {
+	return e.State(ProtocolName, n).(*View)
+}
+
+// ViewOf exposes node n's view for tests and selectors.
+func ViewOf(e *sim.Engine, n *sim.Node) *View { return viewOf(e, n) }
+
+// Round implements one Newscast exchange: pick a live peer from the view,
+// merge both views plus fresh self-descriptors, and truncate both to the c
+// freshest distinct entries.
+func (p *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	v := viewOf(e, n)
+	var q *sim.Node
+	for v.Len() > 0 {
+		i := p.rng.Intn(v.Len())
+		cand := e.Node(v.entries[i].Peer)
+		if cand.Up() {
+			q = cand
+			break
+		}
+		v.entries = append(v.entries[:i], v.entries[i+1:]...)
+	}
+	if q == nil {
+		return
+	}
+	qv := viewOf(e, q)
+
+	merged := make(map[int]int, v.Len()+qv.Len()+2) // peer -> freshest time
+	add := func(peer, tm int) {
+		if cur, ok := merged[peer]; !ok || tm > cur {
+			merged[peer] = tm
+		}
+	}
+	now := round + 1
+	add(n.ID, now)
+	add(q.ID, now)
+	for _, en := range v.entries {
+		add(en.Peer, en.Time)
+	}
+	for _, en := range qv.entries {
+		add(en.Peer, en.Time)
+	}
+
+	rebuild := func(self int) []Entry {
+		out := make([]Entry, 0, len(merged))
+		for peer, tm := range merged {
+			if peer == self || !e.Node(peer).Up() {
+				continue
+			}
+			out = append(out, Entry{Peer: peer, Time: tm})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Time != out[j].Time {
+				return out[i].Time > out[j].Time
+			}
+			return out[i].Peer < out[j].Peer
+		})
+		if len(out) > p.ViewSize {
+			out = out[:p.ViewSize]
+		}
+		return out
+	}
+	v.entries = rebuild(n.ID)
+	qv.entries = rebuild(q.ID)
+}
+
+// SelectPeer returns a uniformly random live peer from n's view, pruning
+// dead entries, or -1 when none is known — the same contract as
+// cyclon.SelectPeer, so it plugs into gossip.PeerSelector directly.
+func SelectPeer(e *sim.Engine, n *sim.Node, rng *sim.RNG) int {
+	v := viewOf(e, n)
+	for v.Len() > 0 {
+		i := rng.Intn(v.Len())
+		peer := v.entries[i].Peer
+		if e.Node(peer).Up() {
+			return peer
+		}
+		v.entries = append(v.entries[:i], v.entries[i+1:]...)
+	}
+	return -1
+}
+
+// Selector adapts SelectPeer to the gossip.PeerSelector signature.
+func Selector(e *sim.Engine, n *sim.Node, rng *sim.RNG) int {
+	return SelectPeer(e, n, rng)
+}

@@ -1,0 +1,131 @@
+package newscast
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+func run(t *testing.T, nodes, rounds, view int, seed uint64) *sim.Engine {
+	t.Helper()
+	e := sim.NewEngine(nodes, seed)
+	e.Register(New(view))
+	e.RunRounds(rounds)
+	return e
+}
+
+func TestViewInvariants(t *testing.T) {
+	const nodes, view = 40, 8
+	e := run(t, nodes, 30, view, 1)
+	for _, n := range e.Nodes() {
+		v := ViewOf(e, n)
+		if v.Len() == 0 || v.Len() > view {
+			t.Fatalf("node %d view size %d", n.ID, v.Len())
+		}
+		seen := map[int]bool{}
+		for _, entry := range v.entries {
+			if entry.Peer == n.ID {
+				t.Fatalf("node %d references itself", n.ID)
+			}
+			if seen[entry.Peer] {
+				t.Fatalf("node %d has duplicate peer %d", n.ID, entry.Peer)
+			}
+			seen[entry.Peer] = true
+		}
+		// Entries sorted freshest-first.
+		for i := 1; i < len(v.entries); i++ {
+			if v.entries[i].Time > v.entries[i-1].Time {
+				t.Fatalf("node %d view not freshness-sorted", n.ID)
+			}
+		}
+	}
+}
+
+func TestFreshnessPropagates(t *testing.T) {
+	// After enough rounds, stale bootstrap entries (time 0) should have
+	// been displaced by fresh descriptors in most views.
+	e := run(t, 40, 30, 8, 2)
+	stale, total := 0, 0
+	for _, n := range e.Nodes() {
+		for _, entry := range ViewOf(e, n).entries {
+			total++
+			if entry.Time == 0 {
+				stale++
+			}
+		}
+	}
+	if stale*5 > total {
+		t.Fatalf("%d/%d entries still stale after 30 rounds", stale, total)
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	// Newscast views correlate strongly (both endpoints keep the same
+	// merged view), so connectivity needs a larger c than Cyclon; the
+	// protocol's own literature recommends c ≳ 2·ln(N)·k. Use the default
+	// view size of 20 for a 50-node network.
+	const nodes = 50
+	e := run(t, nodes, 40, 20, 3)
+	adj := make([][]int, nodes)
+	for _, n := range e.Nodes() {
+		for _, peer := range ViewOf(e, n).Peers() {
+			adj[n.ID] = append(adj[n.ID], peer)
+			adj[peer] = append(adj[peer], n.ID)
+		}
+	}
+	seen := make([]bool, nodes)
+	stack := []int{0}
+	seen[0] = true
+	count := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		count++
+		for _, w := range adj[v] {
+			if !seen[w] {
+				seen[w] = true
+				stack = append(stack, w)
+			}
+		}
+	}
+	if count != nodes {
+		t.Fatalf("overlay disconnected: reached %d of %d", count, nodes)
+	}
+}
+
+func TestDeadNodesPruned(t *testing.T) {
+	e := sim.NewEngine(30, 4)
+	e.Register(New(6))
+	e.RunRounds(10)
+	for id := 0; id < 10; id++ {
+		e.SetUp(e.Node(id), false)
+	}
+	e.RunRounds(25)
+	for _, n := range e.Nodes() {
+		if !n.Up() {
+			continue
+		}
+		for _, peer := range ViewOf(e, n).Peers() {
+			if peer < 10 {
+				t.Fatalf("live node %d references dead node %d", n.ID, peer)
+			}
+		}
+	}
+}
+
+func TestSelectPeer(t *testing.T) {
+	e := run(t, 20, 10, 6, 5)
+	rng := sim.NewRNG(7)
+	for _, n := range e.Nodes() {
+		p := SelectPeer(e, n, rng)
+		if p < 0 || p == n.ID || !e.Node(p).Up() {
+			t.Fatalf("SelectPeer(%d) = %d", n.ID, p)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	if New(0).ViewSize != 20 {
+		t.Fatal("default view size")
+	}
+}

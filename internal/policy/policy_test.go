@@ -1,0 +1,165 @@
+package policy
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+func testCluster(t *testing.T, pms, vms int) *dc.Cluster {
+	t.Helper()
+	var b bytes.Buffer
+	b.WriteString("vm,round,cpu,mem\n")
+	for vm := 0; vm < vms; vm++ {
+		for r := 0; r < 5; r++ {
+			fmt.Fprintf(&b, "%d,%d,0.3,0.2\n", vm, r)
+		}
+	}
+	set, err := trace.LoadCSV(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dc.New(dc.Config{PMs: pms, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	c.PlaceRandom(rng.Intn)
+	return c
+}
+
+func TestBindAdvancesWorkload(t *testing.T) {
+	cl := testCluster(t, 4, 8)
+	e := sim.NewEngine(4, 1)
+	if _, err := Bind(e, cl); err != nil {
+		t.Fatal(err)
+	}
+	e.RunRounds(3)
+	if cl.Round() != 2 {
+		t.Fatalf("cluster at round %d, want 2", cl.Round())
+	}
+	if cl.PMs[0].ActiveSeconds() != 3*120 {
+		t.Fatalf("active seconds %g", cl.PMs[0].ActiveSeconds())
+	}
+}
+
+func TestBindSizeMismatch(t *testing.T) {
+	cl := testCluster(t, 4, 8)
+	e := sim.NewEngine(5, 1)
+	if _, err := Bind(e, cl); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+}
+
+func TestPowerOffOnSyncsViews(t *testing.T) {
+	cl := testCluster(t, 4, 2)
+	e := sim.NewEngine(4, 1)
+	b, err := Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty int = -1
+	for _, pm := range cl.PMs {
+		if pm.NumVMs() == 0 {
+			empty = pm.ID
+			break
+		}
+	}
+	if empty < 0 {
+		t.Fatal("no empty PM in setup")
+	}
+	if err := b.PowerOff(empty); err != nil {
+		t.Fatal(err)
+	}
+	if cl.PMs[empty].On() || e.Node(empty).Up() {
+		t.Fatal("power-off did not sync both views")
+	}
+	b.PowerOn(empty)
+	if !cl.PMs[empty].On() || !e.Node(empty).Up() {
+		t.Fatal("power-on did not sync both views")
+	}
+}
+
+func TestPowerOffRefusesNonEmpty(t *testing.T) {
+	cl := testCluster(t, 2, 4)
+	e := sim.NewEngine(2, 1)
+	b, err := Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full int = -1
+	for _, pm := range cl.PMs {
+		if pm.NumVMs() > 0 {
+			full = pm.ID
+			break
+		}
+	}
+	if err := b.PowerOff(full); err == nil {
+		t.Fatal("expected error powering off non-empty PM")
+	}
+	if !e.Node(full).Up() {
+		t.Fatal("node marked down despite failed power-off")
+	}
+}
+
+func TestTryPowerOffIfEmpty(t *testing.T) {
+	cl := testCluster(t, 3, 2)
+	e := sim.NewEngine(3, 1)
+	b, err := Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCount := 0
+	for _, pm := range cl.PMs {
+		if b.TryPowerOffIfEmpty(pm.ID) {
+			offCount++
+		}
+	}
+	if offCount == 0 {
+		t.Fatal("no empty PM was powered off")
+	}
+	for _, pm := range cl.PMs {
+		if pm.NumVMs() > 0 && !pm.On() {
+			t.Fatal("non-empty PM powered off")
+		}
+	}
+}
+
+func TestVMsOfSortedAndComplete(t *testing.T) {
+	cl := testCluster(t, 1, 5)
+	e := sim.NewEngine(1, 1)
+	b, err := Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms := b.VMsOf(cl.PMs[0])
+	if len(vms) != 5 {
+		t.Fatalf("got %d VMs", len(vms))
+	}
+	for i := 1; i < len(vms); i++ {
+		if vms[i-1].ID >= vms[i].ID {
+			t.Fatal("VMs not sorted by ID")
+		}
+	}
+}
+
+func TestCheapestToMigrate(t *testing.T) {
+	if CheapestToMigrate(nil) != nil {
+		t.Fatal("empty candidates should return nil")
+	}
+	cl := testCluster(t, 1, 3)
+	vms := []*dc.VM{cl.VMs[0], cl.VMs[1], cl.VMs[2]}
+	// Same memory demand everywhere: first candidate wins (stable).
+	if got := CheapestToMigrate(vms); got != vms[0] {
+		t.Fatal("tie should keep first candidate")
+	}
+	// Make one strictly cheaper.
+	vms[2].Cur[dc.Mem] = 0.01
+	if got := CheapestToMigrate(vms); got != vms[2] {
+		t.Fatal("cheapest VM not selected")
+	}
+}

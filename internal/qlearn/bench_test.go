@@ -1,0 +1,62 @@
+package qlearn
+
+import "testing"
+
+// fullTable builds a table covering the full 81x81 GLAP state-action space.
+func fullTable(alpha, gamma float64) *Table {
+	t := New(alpha, gamma)
+	for s := State(0); s < 81; s++ {
+		for a := Action(0); a < 81; a++ {
+			t.Set(s, a, float64(s)+float64(a)/100)
+		}
+	}
+	return t
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	t := fullTable(0.5, 0.8)
+	for i := 0; i < b.N; i++ {
+		t.Update(State(i%81), Action(i%81), 5, State((i+1)%81))
+	}
+}
+
+func BenchmarkBest(b *testing.B) {
+	t := fullTable(0.5, 0.8)
+	candidates := []Action{1, 5, 9, 13, 40, 77}
+	for i := 0; i < b.N; i++ {
+		_, _, _ = t.Best(State(i%81), candidates)
+	}
+}
+
+func BenchmarkMaxKnown(b *testing.B) {
+	t := fullTable(0.5, 0.8)
+	for i := 0; i < b.N; i++ {
+		_ = t.MaxKnown(State(i % 81))
+	}
+}
+
+// BenchmarkUnify measures one aggregation-phase merge of two full GLAP-sized
+// tables — the dominant cost of Algorithm 2.
+func BenchmarkUnify(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := fullTable(0.5, 0.8)
+		q := fullTable(0.5, 0.8)
+		b.StartTimer()
+		Unify(p, q)
+	}
+}
+
+func BenchmarkClone(b *testing.B) {
+	t := fullTable(0.5, 0.8)
+	for i := 0; i < b.N; i++ {
+		_ = t.Clone()
+	}
+}
+
+func BenchmarkFlat(b *testing.B) {
+	t := fullTable(0.5, 0.8)
+	for i := 0; i < b.N; i++ {
+		_ = t.Flat()
+	}
+}

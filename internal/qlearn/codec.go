@@ -1,0 +1,61 @@
+package qlearn
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// tableJSON is the serialised form of a Table: a versioned envelope with the
+// learning parameters and a flat, deterministic cell list.
+type tableJSON struct {
+	Version int        `json:"version"`
+	Alpha   float64    `json:"alpha"`
+	Gamma   float64    `json:"gamma"`
+	Cells   []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	S State   `json:"s"`
+	A Action  `json:"a"`
+	Q float64 `json:"q"`
+}
+
+const codecVersion = 1
+
+// Encode writes the table as JSON. Cells are emitted in deterministic
+// (state, action) order so encodings of equal tables are byte-identical —
+// convenient for checkpoint diffing.
+func (t *Table) Encode(w io.Writer) error {
+	out := tableJSON{Version: codecVersion, Alpha: t.Alpha, Gamma: t.Gamma}
+	for _, k := range t.Keys() {
+		out.Cells = append(out.Cells, cellJSON{S: k.S, A: k.A, Q: t.Get(k.S, k.A)})
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("qlearn: encoding table: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Decode reads a table previously written by Encode.
+func Decode(r io.Reader) (*Table, error) {
+	var in tableJSON
+	dec := json.NewDecoder(bufio.NewReader(r))
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("qlearn: decoding table: %w", err)
+	}
+	if in.Version != codecVersion {
+		return nil, fmt.Errorf("qlearn: unsupported table version %d", in.Version)
+	}
+	if in.Alpha <= 0 || in.Alpha > 1 || in.Gamma < 0 || in.Gamma >= 1 {
+		return nil, fmt.Errorf("qlearn: invalid parameters alpha=%g gamma=%g", in.Alpha, in.Gamma)
+	}
+	t := New(in.Alpha, in.Gamma)
+	for _, c := range in.Cells {
+		t.Set(c.S, c.A, c.Q)
+	}
+	return t, nil
+}

@@ -1,0 +1,77 @@
+package qlearn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := New(0.5, 0.8)
+	orig.Set(1, 2, 3.25)
+	orig.Set(4, 5, -1000)
+	orig.Set(0, 0, 0)
+
+	var buf bytes.Buffer
+	if err := orig.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(orig, got) {
+		t.Fatal("round-trip lost cells")
+	}
+	if got.Alpha != 0.5 || got.Gamma != 0.8 {
+		t.Fatal("round-trip lost parameters")
+	}
+}
+
+func TestCodecDeterministic(t *testing.T) {
+	a := New(0.5, 0.8)
+	b := New(0.5, 0.8)
+	// Insert in different orders.
+	a.Set(1, 1, 1)
+	a.Set(2, 2, 2)
+	b.Set(2, 2, 2)
+	b.Set(1, 1, 1)
+	var ba, bb bytes.Buffer
+	if err := a.Encode(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Encode(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatal("encodings of equal tables differ")
+	}
+}
+
+func TestCodecEmptyTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(1, 0).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("empty table decoded with %d cells", got.Len())
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"garbage":     "not json",
+		"bad version": `{"version":99,"alpha":0.5,"gamma":0.8}`,
+		"bad alpha":   `{"version":1,"alpha":0,"gamma":0.8}`,
+		"bad gamma":   `{"version":1,"alpha":0.5,"gamma":1.0}`,
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %q: expected error", name)
+		}
+	}
+}

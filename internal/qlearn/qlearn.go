@@ -1,0 +1,245 @@
+// Package qlearn implements the tabular Q-learning machinery GLAP builds
+// on: Q-tables over discrete (state, action) pairs, the standard update rule
+//
+//	Q_{t+1}(s,a) = (1-α)·Q_t(s,a) + α·(R + γ·max_a' Q_t(s',a'))
+//
+// (Equation 1 of the paper), greedy/ε-greedy action selection, and the
+// gossip merge ("average when both know the pair, adopt when only one does")
+// that Algorithm 2's aggregation phase applies.
+package qlearn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// State is a discrete environment state. GLAP packs a PM's calibrated
+// (CPU level, MEM level) pair into one State.
+type State uint32
+
+// Action is a discrete action. GLAP packs a VM's calibrated level pair the
+// same way.
+type Action uint32
+
+// Key identifies one Q-table cell.
+type Key struct {
+	S State
+	A Action
+}
+
+// Table is a sparse Q-table together with its learning parameters. The zero
+// value is not ready; use New.
+type Table struct {
+	// Alpha is the learning rate in (0, 1].
+	Alpha float64
+	// Gamma is the discount factor in [0, 1).
+	Gamma float64
+
+	q map[State]map[Action]float64
+	n int
+}
+
+// New returns an empty table with the given learning rate and discount.
+func New(alpha, gamma float64) *Table {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("qlearn: alpha %g out of (0,1]", alpha))
+	}
+	if gamma < 0 || gamma >= 1 {
+		panic(fmt.Sprintf("qlearn: gamma %g out of [0,1)", gamma))
+	}
+	return &Table{Alpha: alpha, Gamma: gamma, q: make(map[State]map[Action]float64)}
+}
+
+// Len returns the number of (state, action) cells present.
+func (t *Table) Len() int { return t.n }
+
+// Get returns the Q-value for (s, a); missing cells read as 0, matching the
+// optimistic-zero initialisation the paper's reward design assumes.
+func (t *Table) Get(s State, a Action) float64 {
+	return t.q[s][a]
+}
+
+// Has reports whether the cell (s, a) has been written.
+func (t *Table) Has(s State, a Action) bool {
+	row, ok := t.q[s]
+	if !ok {
+		return false
+	}
+	_, ok = row[a]
+	return ok
+}
+
+// Set writes the Q-value for (s, a).
+func (t *Table) Set(s State, a Action, v float64) {
+	row, ok := t.q[s]
+	if !ok {
+		row = make(map[Action]float64)
+		t.q[s] = row
+	}
+	if _, exists := row[a]; !exists {
+		t.n++
+	}
+	row[a] = v
+}
+
+// MaxKnown returns the largest Q-value recorded for state s, or 0 when the
+// state has never been visited (the bootstrap value for unseen states).
+func (t *Table) MaxKnown(s State) float64 {
+	row, ok := t.q[s]
+	if !ok || len(row) == 0 {
+		return 0
+	}
+	first := true
+	best := 0.0
+	for _, v := range row {
+		if first || v > best {
+			best = v
+			first = false
+		}
+	}
+	return best
+}
+
+// Update applies Equation 1 for the transition (s, a) -> next with observed
+// reward r, and returns the new Q-value.
+func (t *Table) Update(s State, a Action, r float64, next State) float64 {
+	old := t.Get(s, a)
+	v := (1-t.Alpha)*old + t.Alpha*(r+t.Gamma*t.MaxKnown(next))
+	t.Set(s, a, v)
+	return v
+}
+
+// Best returns the action among candidates with the highest Q-value in
+// state s, together with that value. Unwritten cells count as 0. ok is false
+// when candidates is empty. Ties break toward the action listed first, which
+// keeps selection deterministic for a fixed candidate order.
+func (t *Table) Best(s State, candidates []Action) (a Action, q float64, ok bool) {
+	if len(candidates) == 0 {
+		return 0, 0, false
+	}
+	a, q = candidates[0], t.Get(s, candidates[0])
+	for _, c := range candidates[1:] {
+		if v := t.Get(s, c); v > q {
+			a, q = c, v
+		}
+	}
+	return a, q, true
+}
+
+// Keys returns all written cells in deterministic (state, action) order.
+func (t *Table) Keys() []Key {
+	keys := make([]Key, 0, t.n)
+	for s, row := range t.q {
+		for a := range row {
+			keys = append(keys, Key{s, a})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].S != keys[j].S {
+			return keys[i].S < keys[j].S
+		}
+		return keys[i].A < keys[j].A
+	})
+	return keys
+}
+
+// Flat returns the table contents as a map for vector-space comparisons
+// (cosine similarity in the Figure 5 experiment).
+func (t *Table) Flat() map[Key]float64 {
+	out := make(map[Key]float64, t.n)
+	for s, row := range t.q {
+		for a, v := range row {
+			out[Key{s, a}] = v
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table.
+func (t *Table) Clone() *Table {
+	c := New(t.Alpha, t.Gamma)
+	for s, row := range t.q {
+		for a, v := range row {
+			c.Set(s, a, v)
+		}
+	}
+	return c
+}
+
+// Unify merges two tables in place per Algorithm 2's UPDATE: cells present
+// in both become the average of the two values in both tables; cells present
+// in only one are copied to the other. After Unify the tables are equal.
+//
+// The merge works row-wise on the underlying maps: aggregation gossip runs
+// this once per node per round over the full table, so avoiding the
+// per-cell Has/Get/Set lookups matters at cluster scale.
+func Unify(p, q *Table) {
+	for s, prow := range p.q {
+		qrow, ok := q.q[s]
+		if !ok {
+			qrow = make(map[Action]float64, len(prow))
+			q.q[s] = qrow
+		}
+		for a, pv := range prow {
+			if qv, has := qrow[a]; has {
+				avg := (pv + qv) / 2
+				prow[a] = avg
+				qrow[a] = avg
+			} else {
+				qrow[a] = pv
+				q.n++
+			}
+		}
+	}
+	for s, qrow := range q.q {
+		prow, ok := p.q[s]
+		if !ok {
+			prow = make(map[Action]float64, len(qrow))
+			p.q[s] = prow
+		}
+		for a, qv := range qrow {
+			if _, has := prow[a]; !has {
+				prow[a] = qv
+				p.n++
+			}
+		}
+	}
+}
+
+// Equal reports whether two tables hold exactly the same cells and values.
+// It exits on the first difference.
+func Equal(p, q *Table) bool {
+	if p.n != q.n {
+		return false
+	}
+	for s, prow := range p.q {
+		qrow, ok := q.q[s]
+		if !ok {
+			if len(prow) > 0 {
+				return false
+			}
+			continue
+		}
+		for a, v := range prow {
+			if qv, has := qrow[a]; !has || qv != v {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EpsilonGreedy selects among candidates: with probability eps a uniformly
+// random candidate (exploration), otherwise the Best action (exploitation).
+// rnd(n) must return a uniform integer in [0, n). ok is false when
+// candidates is empty.
+func (t *Table) EpsilonGreedy(s State, candidates []Action, eps float64, rnd func(n int) int, coin func() float64) (a Action, ok bool) {
+	if len(candidates) == 0 {
+		return 0, false
+	}
+	if eps > 0 && coin() < eps {
+		return candidates[rnd(len(candidates))], true
+	}
+	a, _, ok = t.Best(s, candidates)
+	return a, ok
+}

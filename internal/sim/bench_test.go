@@ -1,0 +1,66 @@
+package sim
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkRNGIntn(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Intn(1000)
+	}
+}
+
+func BenchmarkRNGNormFloat64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}
+
+func BenchmarkRNGDerive(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Derive(uint64(i))
+	}
+}
+
+type nopProto struct{}
+
+func (nopProto) Name() string                    { return "nop" }
+func (nopProto) Setup(e *Engine, n *Node) any    { return struct{}{} }
+func (nopProto) Round(e *Engine, n *Node, r int) {}
+
+// BenchmarkEngineRound measures the kernel's per-round overhead: shuffling
+// and dispatching one protocol over 1000 nodes.
+func BenchmarkEngineRound(b *testing.B) {
+	e := NewEngine(1000, 1)
+	e.Register(nopProto{})
+	e.RunRounds(1) // setup outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.RunRounds(1)
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	e := NewEngine(1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(int64(i), 0, func() {})
+		if i%64 == 63 {
+			e.RunEvents(int64(i))
+		}
+	}
+}
+
+func BenchmarkRunReplications(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunReplications(8, 4, func(rep int) int { return rep })
+	}
+}

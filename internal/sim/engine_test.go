@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// countingProto records how many times Round ran per node.
+type countingProto struct {
+	name   string
+	rounds map[int][]int // node -> rounds seen
+	setups int
+}
+
+func newCountingProto(name string) *countingProto {
+	return &countingProto{name: name, rounds: make(map[int][]int)}
+}
+
+func (p *countingProto) Name() string { return p.name }
+func (p *countingProto) Setup(e *Engine, n *Node) any {
+	p.setups++
+	return &struct{ v int }{}
+}
+func (p *countingProto) Round(e *Engine, n *Node, r int) {
+	p.rounds[n.ID] = append(p.rounds[n.ID], r)
+}
+
+func TestEngineRunsAllNodesEveryRound(t *testing.T) {
+	e := NewEngine(5, 1)
+	p := newCountingProto("p")
+	e.Register(p)
+	e.RunRounds(3)
+	if p.setups != 5 {
+		t.Fatalf("setups = %d, want 5", p.setups)
+	}
+	for id := 0; id < 5; id++ {
+		if len(p.rounds[id]) != 3 {
+			t.Fatalf("node %d ran %d rounds, want 3", id, len(p.rounds[id]))
+		}
+	}
+}
+
+func TestEngineWindowAndPeriod(t *testing.T) {
+	e := NewEngine(2, 1)
+	p := newCountingProto("p")
+	e.RegisterWindow(p, 2, 3, 7) // rounds 3, 5, 7
+	e.RunRounds(10)
+	got := p.rounds[0]
+	want := []int{3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("rounds %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rounds %v, want %v", got, want)
+		}
+	}
+}
+
+func TestEngineSkipsDownNodes(t *testing.T) {
+	e := NewEngine(3, 1)
+	p := newCountingProto("p")
+	e.Register(p)
+	e.SetUp(e.Node(1), false)
+	e.RunRounds(4)
+	if len(p.rounds[1]) != 0 {
+		t.Fatalf("down node ran %d rounds", len(p.rounds[1]))
+	}
+	if len(p.rounds[0]) != 4 || len(p.rounds[2]) != 4 {
+		t.Fatal("up nodes should run every round")
+	}
+	if e.UpCount() != 2 {
+		t.Fatalf("UpCount = %d", e.UpCount())
+	}
+}
+
+func TestEngineHookOrdering(t *testing.T) {
+	e := NewEngine(1, 1)
+	var order []string
+	e.BeforeRound(func(e *Engine, r int) { order = append(order, fmt.Sprintf("pre%d", r)) })
+	p := &funcProto{name: "p", fn: func(e *Engine, n *Node, r int) {
+		order = append(order, fmt.Sprintf("round%d", r))
+	}}
+	e.Register(p)
+	e.Observe(func(e *Engine, r int) { order = append(order, fmt.Sprintf("post%d", r)) })
+	e.RunRounds(2)
+	want := []string{"pre0", "round0", "post0", "pre1", "round1", "post1"}
+	if len(order) != len(want) {
+		t.Fatalf("order %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+type funcProto struct {
+	name  string
+	fn    func(e *Engine, n *Node, r int)
+	setup func(e *Engine, n *Node) any
+}
+
+func (p *funcProto) Name() string { return p.name }
+func (p *funcProto) Setup(e *Engine, n *Node) any {
+	if p.setup != nil {
+		return p.setup(e, n)
+	}
+	return struct{}{}
+}
+func (p *funcProto) Round(e *Engine, n *Node, r int) { p.fn(e, n, r) }
+
+func TestEngineStateAccess(t *testing.T) {
+	e := NewEngine(2, 1)
+	p := &funcProto{
+		name:  "stateful",
+		setup: func(e *Engine, n *Node) any { return &[]int{n.ID * 10} },
+		fn:    func(e *Engine, n *Node, r int) {},
+	}
+	e.Register(p)
+	e.RunRounds(1)
+	got := e.State("stateful", e.Node(1)).(*[]int)
+	if (*got)[0] != 10 {
+		t.Fatalf("state = %v", *got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown protocol")
+		}
+	}()
+	e.State("nope", e.Node(0))
+}
+
+func TestEngineDuplicateProtocolPanics(t *testing.T) {
+	e := NewEngine(1, 1)
+	e.Register(newCountingProto("dup"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Register(newCountingProto("dup"))
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine(10, 77)
+		var visits []int
+		e.Register(&funcProto{name: "v", fn: func(e *Engine, n *Node, r int) {
+			visits = append(visits, n.ID)
+		}})
+		e.RunRounds(5)
+		return visits
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different lengths")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineShufflesNodeOrder(t *testing.T) {
+	e := NewEngine(20, 5)
+	var firstRound, secondRound []int
+	e.Register(&funcProto{name: "v", fn: func(e *Engine, n *Node, r int) {
+		if r == 0 {
+			firstRound = append(firstRound, n.ID)
+		} else if r == 1 {
+			secondRound = append(secondRound, n.ID)
+		}
+	}})
+	e.RunRounds(2)
+	same := true
+	for i := range firstRound {
+		if firstRound[i] != secondRound[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("node order identical across rounds; shuffle not applied")
+	}
+}
+
+func TestEngineEvents(t *testing.T) {
+	e := NewEngine(1, 1)
+	e.Register(newCountingProto("p"))
+	var fired []int64
+	e.At(150, 0, func() { fired = append(fired, e.Now()) })
+	e.At(250, 0, func() { fired = append(fired, e.Now()) })
+	e.RunRounds(3) // rounds at t=0,120,240; horizon 360
+	if len(fired) != 2 || fired[0] != 150 || fired[1] != 250 {
+		t.Fatalf("fired %v", fired)
+	}
+}
+
+func TestEngineAfterAndCancel(t *testing.T) {
+	e := NewEngine(1, 1)
+	e.Register(newCountingProto("p"))
+	fired := 0
+	ev := e.After(100, 0, func() { fired++ })
+	e.After(200, 0, func() { fired++ })
+	e.Cancel(ev)
+	e.RunRounds(3)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1, 1)
+	rounds := 0
+	e.Register(&funcProto{name: "p", fn: func(e *Engine, n *Node, r int) {
+		rounds++
+		if r == 2 {
+			e.Stop()
+		}
+	}})
+	e.RunRounds(10)
+	if rounds != 3 {
+		t.Fatalf("ran %d rounds, want 3", rounds)
+	}
+}
+
+func TestEngineRunEvents(t *testing.T) {
+	e := NewEngine(1, 1)
+	var order []string
+	e.At(10, 0, func() { order = append(order, "a") })
+	e.At(5, 0, func() {
+		order = append(order, "b")
+		e.After(2, 0, func() { order = append(order, "c") })
+	})
+	e.RunEvents(-1)
+	want := []string{"b", "c", "a"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestEngineRunEventsHorizon(t *testing.T) {
+	e := NewEngine(1, 1)
+	fired := 0
+	e.At(5, 0, func() { fired++ })
+	e.At(50, 0, func() { fired++ })
+	e.RunEvents(10)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+func TestRegisterPanicsOnBadPeriod(t *testing.T) {
+	e := NewEngine(1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.RegisterEvery(newCountingProto("p"), 0)
+}

@@ -1,0 +1,96 @@
+package sim
+
+import "container/heap"
+
+// Event is a unit of scheduled work in the event-driven layer of the kernel.
+// Events fire in (Time, Priority, sequence) order, where the monotonically
+// increasing sequence number breaks ties deterministically in insertion
+// order.
+type Event struct {
+	// Time is the virtual timestamp at which the event fires.
+	Time int64
+	// Priority orders events that share a timestamp; lower fires first.
+	Priority int
+	// Fn is invoked when the event fires.
+	Fn func()
+
+	seq   uint64
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.index == -2 }
+
+// eventQueue is a binary min-heap of events.
+type eventQueue struct {
+	items []*Event
+	seq   uint64
+}
+
+func (q *eventQueue) Len() int { return len(q.items) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.items[i], q.items[j]
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Priority != b.Priority {
+		return a.Priority < b.Priority
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.items[i].index = i
+	q.items[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(q.items)
+	q.items = append(q.items, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := q.items
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	q.items = old[:n-1]
+	return e
+}
+
+// push schedules e.
+func (q *eventQueue) push(e *Event) {
+	e.seq = q.seq
+	q.seq++
+	heap.Push(q, e)
+}
+
+// pop removes and returns the earliest event, or nil when empty.
+func (q *eventQueue) pop() *Event {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return heap.Pop(q).(*Event)
+}
+
+// remove cancels a scheduled event. It is a no-op if the event already fired.
+func (q *eventQueue) remove(e *Event) {
+	if e.index < 0 {
+		return
+	}
+	heap.Remove(q, e.index)
+	e.index = -2
+}
+
+// peekTime returns the timestamp of the earliest pending event; ok is false
+// when the queue is empty.
+func (q *eventQueue) peekTime() (t int64, ok bool) {
+	if len(q.items) == 0 {
+		return 0, false
+	}
+	return q.items[0].Time, true
+}

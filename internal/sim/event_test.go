@@ -1,0 +1,75 @@
+package sim
+
+import "testing"
+
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	var fired []int
+	mk := func(tm int64, prio, id int) *Event {
+		return &Event{Time: tm, Priority: prio, Fn: func() { fired = append(fired, id) }}
+	}
+	q.push(mk(5, 0, 1))
+	q.push(mk(3, 0, 2))
+	q.push(mk(3, -1, 3)) // same time, higher priority (lower value)
+	q.push(mk(3, 0, 4))  // same time+prio as id 2, inserted later
+	q.push(mk(1, 9, 5))
+
+	for {
+		e := q.pop()
+		if e == nil {
+			break
+		}
+		e.Fn()
+	}
+	want := []int{5, 3, 2, 4, 1}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("order %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestEventQueueRemove(t *testing.T) {
+	var q eventQueue
+	fired := 0
+	e1 := &Event{Time: 1, Fn: func() { fired++ }}
+	e2 := &Event{Time: 2, Fn: func() { fired++ }}
+	q.push(e1)
+	q.push(e2)
+	q.remove(e1)
+	if !e1.Cancelled() {
+		t.Fatal("e1 should be cancelled")
+	}
+	for {
+		e := q.pop()
+		if e == nil {
+			break
+		}
+		e.Fn()
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events, want 1", fired)
+	}
+	// Removing an already-fired or cancelled event is a no-op.
+	q.remove(e1)
+	q.remove(e2)
+}
+
+func TestEventQueuePeekTime(t *testing.T) {
+	var q eventQueue
+	if _, ok := q.peekTime(); ok {
+		t.Fatal("peek on empty queue should report !ok")
+	}
+	q.push(&Event{Time: 9, Fn: func() {}})
+	q.push(&Event{Time: 4, Fn: func() {}})
+	if tm, ok := q.peekTime(); !ok || tm != 4 {
+		t.Fatalf("peek = %d, %v", tm, ok)
+	}
+	q.pop()
+	if tm, ok := q.peekTime(); !ok || tm != 9 {
+		t.Fatalf("peek after pop = %d, %v", tm, ok)
+	}
+}

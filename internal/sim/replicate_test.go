@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunReplicationsAllRun(t *testing.T) {
+	results := RunReplications(10, 4, func(rep int) int { return rep * rep })
+	if len(results) != 10 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Fatalf("result[%d] = %d", i, r)
+		}
+	}
+}
+
+func TestRunReplicationsZero(t *testing.T) {
+	if got := RunReplications(0, 2, func(int) int { return 1 }); got != nil {
+		t.Fatalf("expected nil, got %v", got)
+	}
+	if got := RunReplications(-3, 2, func(int) int { return 1 }); got != nil {
+		t.Fatalf("expected nil for negative count, got %v", got)
+	}
+}
+
+func TestRunReplicationsDefaultWorkers(t *testing.T) {
+	var ran atomic.Int64
+	RunReplications(5, 0, func(rep int) struct{} {
+		ran.Add(1)
+		return struct{}{}
+	})
+	if ran.Load() != 5 {
+		t.Fatalf("ran %d", ran.Load())
+	}
+}
+
+func TestRunReplicationsBoundedConcurrency(t *testing.T) {
+	var cur, max atomic.Int64
+	RunReplications(20, 3, func(rep int) struct{} {
+		c := cur.Add(1)
+		for {
+			m := max.Load()
+			if c <= m || max.CompareAndSwap(m, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+		return struct{}{}
+	})
+	if max.Load() > 3 {
+		t.Fatalf("observed %d concurrent workers, want <= 3", max.Load())
+	}
+}
+
+func TestReplicationSeedDistinct(t *testing.T) {
+	seen := make(map[uint64]int)
+	for rep := 0; rep < 100; rep++ {
+		s := ReplicationSeed(12345, rep)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("seed collision between reps %d and %d", prev, rep)
+		}
+		seen[s] = rep
+	}
+}
+
+func TestReplicationSeedDeterministic(t *testing.T) {
+	if ReplicationSeed(9, 4) != ReplicationSeed(9, 4) {
+		t.Fatal("not deterministic")
+	}
+	if ReplicationSeed(9, 4) == ReplicationSeed(10, 4) {
+		t.Fatal("different experiment seeds should differ")
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a, b := NewRNG(1), NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	// Must not be stuck at zero.
+	nonzero := false
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			nonzero = true
+		}
+	}
+	if !nonzero {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestDeriveDeterministicAndIndependent(t *testing.T) {
+	root := NewRNG(7)
+	a := root.Derive(1, 2)
+	b := root.Derive(1, 2)
+	c := root.Derive(1, 3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same keys should derive same stream")
+		}
+	}
+	a2 := NewRNG(7).Derive(1, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a2.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("derived streams with different keys overlap: %d matches", same)
+	}
+}
+
+func TestDeriveDoesNotAdvanceParent(t *testing.T) {
+	a, b := NewRNG(99), NewRNG(99)
+	_ = a.Derive(5)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("Derive advanced the parent stream")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.Intn(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := NewRNG(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / draws
+		if math.Abs(frac-0.1) > 0.01 {
+			t.Fatalf("bucket %d has fraction %g", i, frac)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(17)
+	f := func(n uint8) bool {
+		m := int(n % 64)
+		p := r.Perm(m)
+		if len(p) != m {
+			return false
+		}
+		seen := make([]bool, m)
+		for _, v := range p {
+			if v < 0 || v >= m || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := NewRNG(23)
+	xs := []int{1, 2, 3, 4, 5, 6, 7}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, x := range xs {
+		got += x
+	}
+	if got != sum {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(31)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean too far from 0: %g", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance too far from 1: %g", variance)
+	}
+}
+
+func TestExpFloat64(t *testing.T) {
+	r := NewRNG(37)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential variate: %g", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.03 {
+		t.Fatalf("exponential mean too far from 1: %g", mean)
+	}
+}
+
+func TestParetoAndLogNormalPositive(t *testing.T) {
+	r := NewRNG(41)
+	for i := 0; i < 1000; i++ {
+		if v := r.Pareto(2, 0.5); v < 0.5 {
+			t.Fatalf("Pareto below scale: %g", v)
+		}
+		if v := r.LogNormal(0, 1); v <= 0 {
+			t.Fatalf("LogNormal not positive: %g", v)
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	r := NewRNG(43)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := NewRNG(47)
+	for i := 0; i < 1000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestMul64(t *testing.T) {
+	hi, lo := mul64(math.MaxUint64, math.MaxUint64)
+	if hi != math.MaxUint64-1 || lo != 1 {
+		t.Fatalf("mul64 max*max = (%d, %d)", hi, lo)
+	}
+	hi, lo = mul64(2, 3)
+	if hi != 0 || lo != 6 {
+		t.Fatalf("mul64 2*3 = (%d, %d)", hi, lo)
+	}
+}

@@ -1,0 +1,125 @@
+package sim
+
+import "testing"
+
+type recordingHandler struct {
+	name     string
+	received []Message
+}
+
+func (h *recordingHandler) Name() string { return h.name }
+func (h *recordingHandler) Deliver(e *Engine, n *Node, m Message) {
+	h.received = append(h.received, m)
+}
+
+func TestTransportDelivery(t *testing.T) {
+	e := NewEngine(3, 1)
+	tr := NewTransport(e, ConstantLatency(5))
+	h := &recordingHandler{name: "h"}
+	tr.Handle(h)
+	tr.Send(0, 1, "h", "hello")
+	tr.Send(2, 1, "h", 42)
+	e.RunEvents(-1)
+	if len(h.received) != 2 {
+		t.Fatalf("delivered %d messages", len(h.received))
+	}
+	if h.received[0].From != 0 || h.received[0].Payload.(string) != "hello" {
+		t.Fatalf("first message %+v", h.received[0])
+	}
+	if tr.Sent != 2 || tr.Delivered != 2 || tr.Dropped != 0 {
+		t.Fatalf("counters %d/%d/%d", tr.Sent, tr.Delivered, tr.Dropped)
+	}
+}
+
+func TestTransportLatencyOrdering(t *testing.T) {
+	e := NewEngine(2, 1)
+	tr := NewTransport(e, func(from, to int) int64 {
+		if from == 0 {
+			return 100 // slow path
+		}
+		return 1 // fast path
+	})
+	h := &recordingHandler{name: "h"}
+	tr.Handle(h)
+	tr.Send(0, 1, "h", "slow")
+	tr.Send(1, 0, "h", "fast")
+	e.RunEvents(-1)
+	if h.received[0].Payload.(string) != "fast" || h.received[1].Payload.(string) != "slow" {
+		t.Fatalf("latency ordering broken: %+v", h.received)
+	}
+}
+
+func TestTransportDropsToDeadNodes(t *testing.T) {
+	e := NewEngine(2, 1)
+	tr := NewTransport(e, ConstantLatency(10))
+	h := &recordingHandler{name: "h"}
+	tr.Handle(h)
+	tr.Send(0, 1, "h", "in-flight")
+	e.SetUp(e.Node(1), false) // dies before delivery
+	e.RunEvents(-1)
+	if len(h.received) != 0 {
+		t.Fatal("message delivered to dead node")
+	}
+	if tr.Dropped != 1 {
+		t.Fatalf("Dropped = %d", tr.Dropped)
+	}
+	// Sending *from* a dead node is a no-op.
+	tr.Send(1, 0, "h", "ghost")
+	e.RunEvents(-1)
+	if len(h.received) != 0 || tr.Sent != 1 {
+		t.Fatal("dead node sent a message")
+	}
+}
+
+func TestTransportDropProb(t *testing.T) {
+	e := NewEngine(2, 3)
+	tr := NewTransport(e, ConstantLatency(1))
+	tr.DropProb = 1
+	h := &recordingHandler{name: "h"}
+	tr.Handle(h)
+	for i := 0; i < 50; i++ {
+		tr.Send(0, 1, "h", i)
+	}
+	e.RunEvents(-1)
+	if len(h.received) != 0 || tr.Dropped != 50 {
+		t.Fatalf("lossy transport delivered %d, dropped %d", len(h.received), tr.Dropped)
+	}
+}
+
+func TestTransportUnknownProtoPanics(t *testing.T) {
+	e := NewEngine(2, 1)
+	tr := NewTransport(e, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Send(0, 1, "nope", nil)
+}
+
+func TestTransportDuplicateHandlerPanics(t *testing.T) {
+	e := NewEngine(1, 1)
+	tr := NewTransport(e, nil)
+	tr.Handle(&recordingHandler{name: "h"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Handle(&recordingHandler{name: "h"})
+}
+
+func TestUniformLatencyRange(t *testing.T) {
+	rng := NewRNG(1)
+	lat := UniformLatency(rng, 5, 9)
+	for i := 0; i < 200; i++ {
+		d := lat(0, 1)
+		if d < 5 || d > 9 {
+			t.Fatalf("latency %d out of range", d)
+		}
+	}
+	fixed := UniformLatency(rng, 7, 7)
+	if fixed(0, 1) != 7 {
+		t.Fatal("degenerate range broken")
+	}
+}

@@ -1,0 +1,130 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustTree(t *testing.T, n, perRack, racksPerPod int) *Tree {
+	t.Helper()
+	tr, err := New(n, perRack, racksPerPod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 4, 2); err == nil {
+		t.Fatal("expected error for zero PMs")
+	}
+	if _, err := New(8, 0, 2); err == nil {
+		t.Fatal("expected error for zero rack size")
+	}
+	if _, err := New(8, 4, 0); err == nil {
+		t.Fatal("expected error for zero pod size")
+	}
+}
+
+func TestLayout(t *testing.T) {
+	// 20 PMs, 4 per rack, 2 racks per pod: 5 racks, 3 pods (last partial).
+	tr := mustTree(t, 20, 4, 2)
+	if tr.NumRacks() != 5 || tr.NumPods() != 3 {
+		t.Fatalf("racks=%d pods=%d", tr.NumRacks(), tr.NumPods())
+	}
+	if tr.RackOf(0) != 0 || tr.RackOf(3) != 0 || tr.RackOf(4) != 1 || tr.RackOf(19) != 4 {
+		t.Fatal("RackOf broken")
+	}
+	if tr.PodOf(0) != 0 || tr.PodOf(7) != 0 || tr.PodOf(8) != 1 || tr.PodOf(19) != 2 {
+		t.Fatal("PodOf broken")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	tr := mustTree(t, 16, 4, 2)
+	if tr.Distance(3, 3) != 0 {
+		t.Fatal("self distance")
+	}
+	if tr.Distance(0, 3) != 2 {
+		t.Fatal("same-rack distance")
+	}
+	if tr.Distance(0, 4) != 4 {
+		t.Fatal("same-pod distance")
+	}
+	if tr.Distance(0, 8) != 6 {
+		t.Fatal("cross-pod distance")
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	tr := mustTree(t, 64, 4, 4)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%64, int(b)%64
+		return tr.Distance(x, y) == tr.Distance(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidthFactorMonotone(t *testing.T) {
+	tr := mustTree(t, 64, 4, 4)
+	if tr.BandwidthFactor(0, 1) != 1 {
+		t.Fatal("same-rack factor should be 1")
+	}
+	if tr.BandwidthFactor(0, 4) >= tr.BandwidthFactor(0, 1) {
+		t.Fatal("cross-rack factor should be smaller")
+	}
+	if tr.BandwidthFactor(0, 60) >= tr.BandwidthFactor(0, 4) {
+		t.Fatal("cross-pod factor should be smallest")
+	}
+}
+
+func TestActiveSwitches(t *testing.T) {
+	tr := mustTree(t, 16, 4, 2) // 4 racks, 2 pods
+	allOn := func(int) bool { return true }
+	edge, agg, core := tr.ActiveSwitches(allOn)
+	if edge != 4 || agg != 2 || core != 1 {
+		t.Fatalf("all on: %d/%d/%d", edge, agg, core)
+	}
+	allOff := func(int) bool { return false }
+	edge, agg, core = tr.ActiveSwitches(allOff)
+	if edge != 0 || agg != 0 || core != 0 {
+		t.Fatalf("all off: %d/%d/%d", edge, agg, core)
+	}
+	// Only PM 5 on: rack 1, pod 0.
+	one := func(pm int) bool { return pm == 5 }
+	edge, agg, core = tr.ActiveSwitches(one)
+	if edge != 1 || agg != 1 || core != 1 {
+		t.Fatalf("one on: %d/%d/%d", edge, agg, core)
+	}
+	// PMs 0 and 15 on: racks 0 and 3, pods 0 and 1.
+	two := func(pm int) bool { return pm == 0 || pm == 15 }
+	edge, agg, core = tr.ActiveSwitches(two)
+	if edge != 2 || agg != 2 || core != 1 {
+		t.Fatalf("two pods: %d/%d/%d", edge, agg, core)
+	}
+}
+
+func TestSwitchPowerW(t *testing.T) {
+	tr := mustTree(t, 16, 4, 2)
+	allOn := func(int) bool { return true }
+	want := 4*150.0 + 2*300.0 + 600.0
+	if got := tr.SwitchPowerW(allOn, DefaultSwitchSpec); got != want {
+		t.Fatalf("power %g, want %g", got, want)
+	}
+	if got := tr.SwitchPowerW(func(int) bool { return false }, DefaultSwitchSpec); got != 0 {
+		t.Fatalf("all-off power %g", got)
+	}
+}
+
+func TestConsolidationSavesSwitches(t *testing.T) {
+	// The property the future-work extension exploits: concentrating the
+	// same number of active PMs into fewer racks powers off switches.
+	tr := mustTree(t, 32, 4, 2)
+	spread := func(pm int) bool { return pm%4 == 0 } // one per rack: 8 racks up
+	packed := func(pm int) bool { return pm/4 < 2 }  // racks 0-1 only
+	if tr.SwitchPowerW(packed, DefaultSwitchSpec) >= tr.SwitchPowerW(spread, DefaultSwitchSpec) {
+		t.Fatal("packing into fewer racks should reduce switch power")
+	}
+}

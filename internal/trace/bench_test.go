@@ -1,0 +1,47 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkGenerate measures synthesis of a paper-scale workload slice: 1000
+// VMs for 720 rounds.
+func BenchmarkGenerate(b *testing.B) {
+	cfg := DefaultGenConfig(1000, 720, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAt(b *testing.B) {
+	set, err := Generate(DefaultGenConfig(100, 200, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = set.At(i%100, i)
+	}
+}
+
+func BenchmarkCSVRoundTrip(b *testing.B) {
+	set, err := Generate(DefaultGenConfig(50, 100, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, set); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := LoadCSV(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// GenConfig parameterises the synthetic Google-cluster-style generator.
+type GenConfig struct {
+	// VMs is the number of series to generate.
+	VMs int
+	// Rounds is the series length. The paper uses 720 two-minute rounds
+	// (24 h); a diurnal cycle spans DayRounds rounds.
+	Rounds int
+	// Seed determines every random choice; equal configs generate equal
+	// sets.
+	Seed uint64
+
+	// Mix gives relative archetype weights. A zero map selects the default
+	// calibration (40% stable, 20% diurnal, 15% periodic, 15% bursty, 10%
+	// spiky), which matches the Google traces' dominance of long-running
+	// low-utilisation tasks with a heavy batch tail.
+	Mix map[Archetype]float64
+
+	// MeanLogMu / MeanLogSigma parameterise the lognormal distribution of
+	// per-VM mean CPU utilisation, clipped to [MinMean, MaxMean]. The
+	// defaults yield a ~25-30% average with a heavy right tail, matching
+	// the published cluster statistics.
+	MeanLogMu    float64
+	MeanLogSigma float64
+	MinMean      float64
+	MaxMean      float64
+
+	// ARPhi is the AR(1) coefficient of the additive noise; ~0.9 reproduces
+	// the strong short-lag autocorrelation of real utilisation series.
+	ARPhi float64
+	// NoiseSigma is the innovation standard deviation of the AR(1) noise.
+	NoiseSigma float64
+
+	// DayRounds is the length of one simulated day in rounds (diurnal
+	// period). Defaults to Rounds.
+	DayRounds int
+}
+
+// DefaultGenConfig returns the calibration used throughout the reproduction
+// for the given scale.
+func DefaultGenConfig(vms, rounds int, seed uint64) GenConfig {
+	return GenConfig{
+		VMs:          vms,
+		Rounds:       rounds,
+		Seed:         seed,
+		MeanLogMu:    math.Log(0.22),
+		MeanLogSigma: 0.55,
+		MinMean:      0.03,
+		MaxMean:      0.85,
+		ARPhi:        0.9,
+		NoiseSigma:   0.05,
+		DayRounds:    rounds,
+	}
+}
+
+func (c *GenConfig) withDefaults() GenConfig {
+	cfg := *c
+	if cfg.Mix == nil {
+		cfg.Mix = map[Archetype]float64{
+			Stable: 0.20, Diurnal: 0.30, Periodic: 0.10, Bursty: 0.25, Spiky: 0.15,
+		}
+	}
+	if cfg.MeanLogMu == 0 && cfg.MeanLogSigma == 0 {
+		cfg.MeanLogMu = math.Log(0.22)
+		cfg.MeanLogSigma = 0.55
+	}
+	if cfg.MaxMean == 0 {
+		cfg.MinMean, cfg.MaxMean = 0.03, 0.85
+	}
+	if cfg.ARPhi == 0 {
+		cfg.ARPhi = 0.9
+	}
+	if cfg.NoiseSigma == 0 {
+		cfg.NoiseSigma = 0.05
+	}
+	if cfg.DayRounds == 0 {
+		cfg.DayRounds = cfg.Rounds
+	}
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c *GenConfig) Validate() error {
+	if c.VMs <= 0 {
+		return fmt.Errorf("trace: VMs must be positive, got %d", c.VMs)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("trace: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.ARPhi < 0 || c.ARPhi >= 1 {
+		return fmt.Errorf("trace: ARPhi must be in [0,1), got %g", c.ARPhi)
+	}
+	return nil
+}
+
+// Generate builds a synthetic workload Set from cfg.
+func Generate(cfg GenConfig) (*Set, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := sim.NewRNG(cfg.Seed)
+	set := &Set{
+		rounds: cfg.Rounds,
+		series: make([][]Sample, cfg.VMs),
+		arch:   make([]Archetype, cfg.VMs),
+	}
+	cum := cumulativeMix(cfg.Mix)
+	// Diurnal VMs share one cluster-wide phase (plus small per-VM jitter):
+	// user-facing load peaks at the same local time across a data center,
+	// which is what makes threshold-based consolidation at the trough so
+	// dangerous and demand prediction valuable.
+	basePhase := root.Float64()
+	for vm := 0; vm < cfg.VMs; vm++ {
+		rng := root.Derive(uint64(vm), 0x77ace)
+		arch := pickArchetype(rng, cum)
+		set.arch[vm] = arch
+		set.series[vm] = genSeries(rng, arch, cfg, basePhase)
+	}
+	return set, nil
+}
+
+// cumulativeMix converts archetype weights to a cumulative distribution over
+// the fixed archetype order.
+func cumulativeMix(mix map[Archetype]float64) [numArchetypes]float64 {
+	var cum [numArchetypes]float64
+	total := 0.0
+	for a := Archetype(0); a < numArchetypes; a++ {
+		total += math.Max(0, mix[a])
+	}
+	if total == 0 {
+		total = 1
+		mix = map[Archetype]float64{Stable: 1}
+	}
+	acc := 0.0
+	for a := Archetype(0); a < numArchetypes; a++ {
+		acc += math.Max(0, mix[a]) / total
+		cum[a] = acc
+	}
+	cum[numArchetypes-1] = 1
+	return cum
+}
+
+func pickArchetype(rng *sim.RNG, cum [numArchetypes]float64) Archetype {
+	u := rng.Float64()
+	for a := Archetype(0); a < numArchetypes; a++ {
+		if u <= cum[a] {
+			return a
+		}
+	}
+	return Stable
+}
+
+// genSeries produces one VM's (cpu, mem) series. CPU follows the archetype
+// pattern with AR(1) noise; memory tracks a dampened version of the pattern
+// with its own, quieter noise — memory demand in the cluster traces is far
+// steadier than CPU.
+func genSeries(rng *sim.RNG, arch Archetype, cfg GenConfig, basePhase float64) []Sample {
+	meanCPU := clampRange(rng.LogNormal(cfg.MeanLogMu, cfg.MeanLogSigma), cfg.MinMean, cfg.MaxMean)
+	// Memory mean is positively correlated with CPU mean but regresses
+	// toward a moderate level.
+	meanMem := clampRange(0.5*meanCPU+0.15+0.08*rng.NormFloat64(), cfg.MinMean, cfg.MaxMean)
+
+	out := make([]Sample, cfg.Rounds)
+	pat := newPattern(rng, arch, meanCPU, cfg)
+	noiseC, noiseM := 0.0, 0.0
+	phase := rng.Float64()
+	if arch == Diurnal {
+		phase = basePhase + 0.04*rng.NormFloat64()
+	}
+	sigmaStat := cfg.NoiseSigma / math.Sqrt(1-cfg.ARPhi*cfg.ARPhi)
+	noiseC = sigmaStat * rng.NormFloat64()
+	noiseM = 0.4 * sigmaStat * rng.NormFloat64()
+	for t := 0; t < cfg.Rounds; t++ {
+		base := pat.at(rng, t, phase)
+		noiseC = cfg.ARPhi*noiseC + cfg.NoiseSigma*rng.NormFloat64()
+		noiseM = cfg.ARPhi*noiseM + 0.4*cfg.NoiseSigma*rng.NormFloat64()
+		cpu := clamp01(base + noiseC)
+		memBase := meanMem + 0.3*(base-meanCPU)
+		mem := clamp01(memBase + noiseM)
+		out[t] = Sample{CPU: cpu, Mem: mem}
+	}
+	return out
+}
+
+// pattern is the deterministic (pre-noise) load shape of one VM.
+type pattern struct {
+	arch   Archetype
+	mean   float64
+	amp    float64
+	period float64
+	// bursty two-state Markov chain
+	high     bool
+	pLowHigh float64
+	pHighLow float64
+	lowLevel float64
+	hiLevel  float64
+	// spiky state
+	spikeLeft int
+	spikeLvl  float64
+	pSpike    float64
+}
+
+func newPattern(rng *sim.RNG, arch Archetype, mean float64, cfg GenConfig) *pattern {
+	p := &pattern{arch: arch, mean: mean}
+	switch arch {
+	case Stable:
+	case Diurnal:
+		p.amp = clampRange(0.5+0.4*rng.Float64(), 0, 0.95) * mean
+		p.period = float64(cfg.DayRounds)
+	case Periodic:
+		p.amp = clampRange(0.3+0.5*rng.Float64(), 0, 0.9) * mean
+		p.period = 20 + 60*rng.Float64()
+	case Bursty:
+		p.lowLevel = mean * 0.5
+		p.hiLevel = math.Min(mean*3.2, 1.0)
+		p.pLowHigh = 1.0 / 20 // mean low dwell: 20 rounds
+		p.pHighLow = 1.0 / 6  // mean high dwell: 6 rounds
+	case Spiky:
+		p.pSpike = 0.04
+	}
+	return p
+}
+
+func (p *pattern) at(rng *sim.RNG, t int, phase float64) float64 {
+	switch p.arch {
+	case Stable:
+		return p.mean
+	case Diurnal, Periodic:
+		return p.mean + p.amp*math.Sin(2*math.Pi*(float64(t)/p.period+phase))
+	case Bursty:
+		if p.high {
+			if rng.Bernoulli(p.pHighLow) {
+				p.high = false
+			}
+		} else if rng.Bernoulli(p.pLowHigh) {
+			p.high = true
+		}
+		if p.high {
+			return p.hiLevel
+		}
+		return p.lowLevel
+	case Spiky:
+		if p.spikeLeft > 0 {
+			p.spikeLeft--
+			return p.spikeLvl
+		}
+		if rng.Bernoulli(p.pSpike) {
+			p.spikeLeft = rng.Intn(5) + 1
+			p.spikeLvl = clampRange(p.mean+0.4+0.6*rng.Float64(), 0, 1.0)
+			return p.spikeLvl
+		}
+		return p.mean * 0.7
+	default:
+		return p.mean
+	}
+}

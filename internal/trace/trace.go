@@ -1,0 +1,132 @@
+// Package trace supplies per-VM resource utilisation time series that drive
+// the consolidation simulations.
+//
+// The paper replays CPU and memory utilisation from the Google Cluster
+// traces [12]. Those traces cannot be redistributed here, so this package
+// implements a synthetic generator calibrated to the published
+// characteristics of that data — low average utilisation (most VMs use a
+// small fraction of their allocation), heavy-tailed per-VM means, strong
+// temporal autocorrelation, diurnal patterns, and occasional bursts — plus a
+// CSV loader so real trace extracts can be dropped in when available. The
+// consolidation algorithms only ever observe one (cpu, mem) sample per VM
+// per round, so any series with these statistical properties exercises the
+// same code paths and decision structure.
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one observation of a VM's resource demand, expressed as
+// fractions in [0, 1] of the VM's allocated CPU and memory capacity.
+type Sample struct {
+	CPU float64
+	Mem float64
+}
+
+// Archetype labels the workload pattern family of a synthetic VM. The mix of
+// archetypes is what gives PMs the heterogeneous, time-varying aggregate
+// load that motivates GLAP.
+type Archetype int
+
+const (
+	// Stable VMs hover around a fixed mean with small noise (long-running
+	// services).
+	Stable Archetype = iota
+	// Diurnal VMs follow a day-long sinusoid (user-facing workloads).
+	Diurnal
+	// Periodic VMs oscillate with a short period (cron-style batch work).
+	Periodic
+	// Bursty VMs alternate a low baseline with sustained high-load episodes
+	// (MapReduce-style batch jobs).
+	Bursty
+	// Spiky VMs exhibit brief random spikes over a low baseline.
+	Spiky
+
+	numArchetypes = 5
+)
+
+// String returns the archetype name.
+func (a Archetype) String() string {
+	switch a {
+	case Stable:
+		return "stable"
+	case Diurnal:
+		return "diurnal"
+	case Periodic:
+		return "periodic"
+	case Bursty:
+		return "bursty"
+	case Spiky:
+		return "spiky"
+	default:
+		return fmt.Sprintf("archetype(%d)", int(a))
+	}
+}
+
+// Set is a replayable workload: one utilisation series per VM, all of equal
+// length.
+type Set struct {
+	rounds int
+	series [][]Sample
+	arch   []Archetype
+}
+
+// NumVMs returns the number of VM series in the set.
+func (s *Set) NumVMs() int { return len(s.series) }
+
+// Rounds returns the series length.
+func (s *Set) Rounds() int { return s.rounds }
+
+// At returns VM vm's demand sample at round r. Rounds beyond the series
+// length wrap around, so simulations may run longer than the trace.
+func (s *Set) At(vm, r int) Sample {
+	ser := s.series[vm]
+	return ser[r%len(ser)]
+}
+
+// ArchetypeOf returns the generating archetype for VM vm, or Stable for
+// loaded (non-synthetic) sets.
+func (s *Set) ArchetypeOf(vm int) Archetype {
+	if s.arch == nil {
+		return Stable
+	}
+	return s.arch[vm]
+}
+
+// Series returns the raw series for VM vm. Callers must not modify it.
+func (s *Set) Series(vm int) []Sample { return s.series[vm] }
+
+// MeanUtilisation returns the average CPU and memory utilisation over all
+// VMs and rounds.
+func (s *Set) MeanUtilisation() (cpu, mem float64) {
+	var n float64
+	for _, ser := range s.series {
+		for _, sm := range ser {
+			cpu += sm.CPU
+			mem += sm.Mem
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, 0
+	}
+	return cpu / n, mem / n
+}
+
+// clamp01 clips x into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// clampRange clips x into [lo, hi].
+func clampRange(x, lo, hi float64) float64 {
+	return math.Min(hi, math.Max(lo, x))
+}

@@ -1,0 +1,302 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+func genSmall(t *testing.T, vms, rounds int, seed uint64) *Set {
+	t.Helper()
+	set, err := Generate(DefaultGenConfig(vms, rounds, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestGenerateShape(t *testing.T) {
+	set := genSmall(t, 30, 100, 1)
+	if set.NumVMs() != 30 || set.Rounds() != 100 {
+		t.Fatalf("shape %d x %d", set.NumVMs(), set.Rounds())
+	}
+	for vm := 0; vm < set.NumVMs(); vm++ {
+		if len(set.Series(vm)) != 100 {
+			t.Fatalf("vm %d series length %d", vm, len(set.Series(vm)))
+		}
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	f := func(seed uint16) bool {
+		set, err := Generate(DefaultGenConfig(10, 50, uint64(seed)))
+		if err != nil {
+			return false
+		}
+		for vm := 0; vm < set.NumVMs(); vm++ {
+			for r := 0; r < set.Rounds(); r++ {
+				s := set.At(vm, r)
+				if s.CPU < 0 || s.CPU > 1 || s.Mem < 0 || s.Mem > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := genSmall(t, 20, 80, 9)
+	b := genSmall(t, 20, 80, 9)
+	for vm := 0; vm < 20; vm++ {
+		for r := 0; r < 80; r++ {
+			if a.At(vm, r) != b.At(vm, r) {
+				t.Fatalf("divergence at vm %d round %d", vm, r)
+			}
+		}
+	}
+	c := genSmall(t, 20, 80, 10)
+	same := true
+	for vm := 0; vm < 20 && same; vm++ {
+		for r := 0; r < 80; r++ {
+			if a.At(vm, r) != c.At(vm, r) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical sets")
+	}
+}
+
+func TestGenerateMeanUtilisationBand(t *testing.T) {
+	set := genSmall(t, 400, 200, 3)
+	cpu, mem := set.MeanUtilisation()
+	// The calibration targets the Google traces' low average utilisation.
+	if cpu < 0.12 || cpu > 0.45 {
+		t.Fatalf("mean cpu %g outside calibration band", cpu)
+	}
+	if mem < 0.1 || mem > 0.55 {
+		t.Fatalf("mean mem %g outside calibration band", mem)
+	}
+}
+
+func TestGenerateAutocorrelation(t *testing.T) {
+	set := genSmall(t, 100, 200, 4)
+	var acs []float64
+	for vm := 0; vm < set.NumVMs(); vm++ {
+		ser := set.Series(vm)
+		cs := make([]float64, len(ser))
+		for i, s := range ser {
+			cs[i] = s.CPU
+		}
+		if stats.Variance(cs) > 1e-9 {
+			acs = append(acs, stats.Autocorrelation(cs, 1))
+		}
+	}
+	if med, _ := stats.Median(acs); med < 0.5 {
+		t.Fatalf("median lag-1 autocorrelation %g too low for cluster-like traces", med)
+	}
+}
+
+func TestGenerateArchetypeMix(t *testing.T) {
+	set := genSmall(t, 1000, 10, 5)
+	counts := map[Archetype]int{}
+	for vm := 0; vm < set.NumVMs(); vm++ {
+		counts[set.ArchetypeOf(vm)]++
+	}
+	for a := Archetype(0); a < numArchetypes; a++ {
+		if counts[a] == 0 {
+			t.Fatalf("archetype %s never generated", a)
+		}
+	}
+	// Bursty + spiky share should be substantial (volatility calibration).
+	if frac := float64(counts[Bursty]+counts[Spiky]) / 1000; frac < 0.25 || frac > 0.55 {
+		t.Fatalf("bursty+spiky fraction %g outside calibration band", frac)
+	}
+}
+
+func TestGenerateCustomMix(t *testing.T) {
+	cfg := DefaultGenConfig(50, 20, 6)
+	cfg.Mix = map[Archetype]float64{Stable: 1}
+	set, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vm := 0; vm < set.NumVMs(); vm++ {
+		if set.ArchetypeOf(vm) != Stable {
+			t.Fatalf("vm %d has archetype %s", vm, set.ArchetypeOf(vm))
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(GenConfig{VMs: 0, Rounds: 10}); err == nil {
+		t.Fatal("expected error for zero VMs")
+	}
+	if _, err := Generate(GenConfig{VMs: 1, Rounds: 0}); err == nil {
+		t.Fatal("expected error for zero rounds")
+	}
+	if _, err := Generate(GenConfig{VMs: 1, Rounds: 1, ARPhi: 1.5}); err == nil {
+		t.Fatal("expected error for ARPhi >= 1")
+	}
+}
+
+func TestAtWrapsAround(t *testing.T) {
+	set := genSmall(t, 3, 10, 7)
+	if set.At(1, 13) != set.At(1, 3) {
+		t.Fatal("At should wrap around the series length")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	orig := genSmall(t, 7, 15, 8)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumVMs() != 7 || loaded.Rounds() != 15 {
+		t.Fatalf("round-trip shape %d x %d", loaded.NumVMs(), loaded.Rounds())
+	}
+	for vm := 0; vm < 7; vm++ {
+		for r := 0; r < 15; r++ {
+			a, b := orig.At(vm, r), loaded.At(vm, r)
+			if diff := a.CPU - b.CPU; diff > 1e-5 || diff < -1e-5 {
+				t.Fatalf("cpu mismatch vm %d round %d: %g vs %g", vm, r, a.CPU, b.CPU)
+			}
+		}
+	}
+	// Loaded (non-synthetic) sets report Stable archetypes.
+	if loaded.ArchetypeOf(0) != Stable {
+		t.Fatal("loaded set should report Stable archetype")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"bad vm":           "vm,round,cpu,mem\nx,0,0.5,0.5\nx,1,0.5,0.5\n",
+		"bad round":        "0,x,0.5,0.5\n",
+		"bad cpu":          "0,0,x,0.5\n",
+		"bad mem":          "0,0,0.5,x\n",
+		"cpu out of range": "0,0,1.5,0.5\n",
+		"negative vm":      "-1,0,0.5,0.5\n",
+		"sparse vm ids":    "0,0,0.5,0.5\n5,0,0.5,0.5\n",
+		"missing round":    "0,0,0.5,0.5\n0,2,0.5,0.5\n",
+		"uneven rounds":    "0,0,0.5,0.5\n0,1,0.5,0.5\n1,0,0.5,0.5\n",
+	}
+	for name, input := range cases {
+		if _, err := LoadCSV(strings.NewReader(input)); err == nil {
+			t.Fatalf("case %q: expected error", name)
+		}
+	}
+}
+
+func TestLoadCSVHeaderOptional(t *testing.T) {
+	with := "vm,round,cpu,mem\n0,0,0.5,0.25\n"
+	without := "0,0,0.5,0.25\n"
+	for _, input := range []string{with, without} {
+		set, err := LoadCSV(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("input %q: %v", input, err)
+		}
+		if set.NumVMs() != 1 || set.At(0, 0).CPU != 0.5 {
+			t.Fatalf("input %q: bad set", input)
+		}
+	}
+}
+
+func TestArchetypeString(t *testing.T) {
+	names := map[Archetype]string{
+		Stable: "stable", Diurnal: "diurnal", Periodic: "periodic",
+		Bursty: "bursty", Spiky: "spiky", Archetype(99): "archetype(99)",
+	}
+	for a, want := range names {
+		if a.String() != want {
+			t.Fatalf("%d.String() = %q", a, a.String())
+		}
+	}
+}
+
+func TestDiurnalPhaseShared(t *testing.T) {
+	// Diurnal VMs must swell together: the aggregate diurnal series should
+	// have a pronounced peak-to-trough range.
+	cfg := DefaultGenConfig(200, 120, 11)
+	cfg.Mix = map[Archetype]float64{Diurnal: 1}
+	cfg.NoiseSigma = 0.001
+	set, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := make([]float64, set.Rounds())
+	for vm := 0; vm < set.NumVMs(); vm++ {
+		for r := 0; r < set.Rounds(); r++ {
+			agg[r] += set.At(vm, r).CPU
+		}
+	}
+	lo, hi := agg[0], agg[0]
+	for _, v := range agg {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < 1.4*lo {
+		t.Fatalf("aggregate diurnal swing too small: [%g, %g] — phases not shared?", lo, hi)
+	}
+}
+
+func TestFileRoundTripPlainAndGzip(t *testing.T) {
+	orig := genSmall(t, 5, 8, 12)
+	dir := t.TempDir()
+	for _, name := range []string{"plain.csv", "packed.csv.gz"} {
+		path := filepath.Join(dir, name)
+		if err := WriteFile(path, orig); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.NumVMs() != 5 || got.Rounds() != 8 {
+			t.Fatalf("%s: shape %dx%d", name, got.NumVMs(), got.Rounds())
+		}
+		a, b := orig.At(2, 3), got.At(2, 3)
+		if d := a.CPU - b.CPU; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("%s: value mismatch", name)
+		}
+	}
+	// Gzip file must actually be smaller than plain for this content.
+	plain, err := os.Stat(filepath.Join(dir, "plain.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := os.Stat(filepath.Join(dir, "packed.csv.gz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.Size() >= plain.Size() {
+		t.Fatalf("gzip did not compress: %d vs %d", packed.Size(), plain.Size())
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

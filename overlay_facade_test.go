@@ -1,0 +1,60 @@
+package glapsim
+
+import "testing"
+
+func TestOverlayNewscast(t *testing.T) {
+	for _, p := range []Policy{PolicyGLAP, PolicyGRMP, PolicyEcoCloud} {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			x := smallExperiment(p)
+			x.Overlay = OverlayNewscast
+			res, err := Run(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Cluster.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			last, _ := res.Series.Last()
+			if last.ActivePMs >= x.PMs {
+				t.Fatalf("%s over newscast did not consolidate", p)
+			}
+		})
+	}
+}
+
+func TestOverlayUnknown(t *testing.T) {
+	x := smallExperiment(PolicyGRMP)
+	x.Overlay = "chord"
+	if _, err := Run(x); err == nil {
+		t.Fatal("unknown overlay accepted")
+	}
+}
+
+func TestOverlayComparable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("comparative run in -short mode")
+	}
+	// The overlay choice must not change the outcome's character: both
+	// overlays consolidate to within a few PMs of each other.
+	base := smallExperiment(PolicyGRMP)
+	base.Rounds = 60
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Overlay = OverlayNewscast
+	b, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	la, _ := a.Series.Last()
+	lb, _ := b.Series.Last()
+	diff := la.ActivePMs - lb.ActivePMs
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 5 {
+		t.Fatalf("overlays disagree: cyclon=%d newscast=%d active", la.ActivePMs, lb.ActivePMs)
+	}
+}
