@@ -1,0 +1,107 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	glapsim "github.com/glap-sim/glap"
+	"github.com/glap-sim/glap/internal/glap"
+	"github.com/glap-sim/glap/internal/qlearn"
+	"github.com/glap-sim/glap/internal/stats"
+)
+
+// kernelFastGLAP shortens pre-training so the determinism check completes
+// in seconds.
+func kernelFastGLAP() glap.Config { return glap.Config{LearnRounds: 30, AggRounds: 20} }
+
+// runKernel is the `-exp kernel` mode: a before/after comparison of the
+// gossip-learning hot-path kernels. "Before" runs the retired sparse-map
+// reference (qlearn.Sparse), "after" the dense array+bitset backing, on
+// identical full 81×81 GLAP tables, and the mode finishes with two
+// seed-for-seed simulation runs whose Series must coincide — the speedup
+// and the unchanged results in one report.
+func runKernel(seed uint64) {
+	fmt.Println("== kernel: sparse-map baseline vs dense array+bitset ==")
+
+	const cells = 81
+	fillDense := func() (*qlearn.Table, *qlearn.Table) {
+		p, q := qlearn.New(0.5, 0.8), qlearn.New(0.5, 0.8)
+		for s := qlearn.State(0); s < cells; s++ {
+			for a := qlearn.Action(0); a < cells; a++ {
+				p.Set(s, a, float64(s)+float64(a)/100)
+				q.Set(s, a, float64(a)+float64(s)/100)
+			}
+		}
+		return p, q
+	}
+	fillSparse := func() (*qlearn.Sparse, *qlearn.Sparse) {
+		p, q := qlearn.NewSparse(0.5, 0.8), qlearn.NewSparse(0.5, 0.8)
+		for s := qlearn.State(0); s < cells; s++ {
+			for a := qlearn.Action(0); a < cells; a++ {
+				p.Set(s, a, float64(s)+float64(a)/100)
+				q.Set(s, a, float64(a)+float64(s)/100)
+			}
+		}
+		return p, q
+	}
+
+	// measure reports ns/op of fn over enough iterations to be stable.
+	measure := func(iters int, fn func()) float64 {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+
+	report := func(name string, before, after float64) {
+		fmt.Printf("%-14s %12.0f ns/op -> %10.0f ns/op   %6.1fx\n", name, before, after, before/after)
+	}
+
+	sp, sq := fillSparse()
+	dp, dq := fillDense()
+	report("Unify",
+		measure(2000, func() { qlearn.UnifySparse(sp, sq) }),
+		measure(2000, func() { qlearn.Unify(dp, dq) }))
+	report("Equal",
+		measure(2000, func() { _ = qlearn.EqualSparse(sp, sq) }),
+		measure(2000, func() { _ = qlearn.Equal(dp, dq) }))
+	report("Update",
+		measure(200000, func() { sp.Update(3, 4, 5, 6) }),
+		measure(200000, func() { dp.Update(3, 4, 5, 6) }))
+
+	// Cosine over φ^io-sized vectors: map-based vs aligned dense.
+	const ioCells = 2 * cells * cells
+	ma := make(map[int]float64, ioCells)
+	mb := make(map[int]float64, ioCells)
+	va := make([]float64, ioCells)
+	vb := make([]float64, ioCells)
+	for i := 0; i < ioCells; i++ {
+		ma[i], va[i] = float64(i%97), float64(i%97)
+		mb[i], vb[i] = float64((i+13)%89), float64((i+13)%89)
+	}
+	report("Cosine",
+		measure(500, func() { _ = stats.CosineMaps(ma, mb) }),
+		measure(500, func() { _ = stats.CosineAligned(va, vb) }))
+
+	// Seed-for-seed determinism: two identical small GLAP runs must agree
+	// exactly — the dense kernel changes how Q-values are stored, not what
+	// the simulation computes.
+	x := glapsim.Experiment{
+		PMs: 20, Ratio: 2, Rounds: 40, Seed: seed, Policy: glapsim.PolicyGLAP,
+		GLAP: kernelFastGLAP(),
+	}
+	runOnce := func() (int64, int, float64) {
+		res, err := glapsim.Run(x)
+		if err != nil {
+			fmt.Printf("kernel sim run failed: %v\n", err)
+			return 0, 0, 0
+		}
+		last, _ := res.Series.Last()
+		return last.Migrations, last.ActivePMs, res.Series.SLAV
+	}
+	m1, a1, s1 := runOnce()
+	m2, a2, s2 := runOnce()
+	fmt.Printf("sim determinism: run1 (migr=%d active=%d slav=%g) run2 (migr=%d active=%d slav=%g) identical=%v\n",
+		m1, a1, s1, m2, a2, s2, m1 == m2 && a1 == a2 && s1 == s2)
+}

@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1 or all")
+	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, or kernel (dense-vs-sparse hot-path comparison)")
 	sizes := flag.String("sizes", "100", "comma-separated cluster sizes")
 	ratios := flag.String("ratios", "2,3,4", "comma-separated VM:PM ratios")
 	rounds := flag.Int("rounds", 240, "consolidation rounds (2 simulated minutes each)")
@@ -47,6 +47,13 @@ func main() {
 		want[strings.TrimSpace(e)] = true
 	}
 	all := want["all"]
+
+	if want["kernel"] {
+		runKernel(*seed)
+		if len(want) == 1 {
+			return
+		}
+	}
 
 	var conv []*glapsim.ConvergenceResult
 	if all || want["f5"] {

@@ -6,6 +6,7 @@ import (
 	"github.com/glap-sim/glap/internal/cyclon"
 	"github.com/glap-sim/glap/internal/dc"
 	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/qlearn"
 	"github.com/glap-sim/glap/internal/sim"
 	"github.com/glap-sim/glap/internal/trace"
 )
@@ -35,9 +36,10 @@ func BenchmarkLearningRound(b *testing.B) {
 	}
 }
 
-// BenchmarkAggregationRound measures one Algorithm 2 round (pairwise table
-// unification across the cluster).
-func BenchmarkAggregationRound(b *testing.B) {
+// BenchmarkAggRound measures one Algorithm 2 round (pairwise table
+// unification across the cluster) — the aggregation-phase hot path the
+// dense Q-table backing exists for.
+func BenchmarkAggRound(b *testing.B) {
 	cl := benchGenCluster(b, 100, 300)
 	e := sim.NewEngine(100, 1)
 	bd, err := policy.Bind(e, cl)
@@ -78,6 +80,39 @@ func BenchmarkConsolidationRound(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.RunRounds(1)
+	}
+}
+
+// BenchmarkIOVec measures the reusable dense φ^io fill that replaced the
+// per-sample IOFlat map build in convergence measurement.
+func BenchmarkIOVec(b *testing.B) {
+	tb := &NodeTables{Out: qlearn.New(0.5, 0.8), In: qlearn.New(0.5, 0.8)}
+	for s := 0; s < 81; s++ {
+		for a := 0; a < 81; a++ {
+			tb.Out.Set(qlearn.State(s), qlearn.Action(a), float64(s+a))
+			tb.In.Set(qlearn.State(s), qlearn.Action(a), float64(s-a))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tb.IOVec()
+	}
+}
+
+// BenchmarkIOFlat is the retired map-based baseline for BenchmarkIOVec.
+func BenchmarkIOFlat(b *testing.B) {
+	tb := &NodeTables{Out: qlearn.New(0.5, 0.8), In: qlearn.New(0.5, 0.8)}
+	for s := 0; s < 81; s++ {
+		for a := 0; a < 81; a++ {
+			tb.Out.Set(qlearn.State(s), qlearn.Action(a), float64(s+a))
+			tb.In.Set(qlearn.State(s), qlearn.Action(a), float64(s-a))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tb.IOFlat()
 	}
 }
 

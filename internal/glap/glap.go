@@ -82,7 +82,7 @@ func Pretrain(cfg Config, cl *dc.Cluster, seed uint64, opts PretrainOptions) (*P
 			if round%opts.MeasureEvery != 0 {
 				return
 			}
-			sim1 := gossip.MeanPairwiseCosine(e, IOVector, pairs, measureRNG)
+			sim1 := gossip.MeanPairwiseCosineDense(e, IOVectorDense, pairs, measureRNG)
 			res.Convergence = append(res.Convergence, sim1)
 			res.ConvergenceRound = append(res.ConvergenceRound, round)
 		})

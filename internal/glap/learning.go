@@ -21,16 +21,46 @@ type NodeTables struct {
 	// Trained is set once the node executed at least one local training
 	// round.
 	Trained bool
+
+	// ioVec is the node's reusable dense φ^io buffer, (re)filled by IOVec.
+	// Convergence measurement samples it every measured round, so the
+	// buffer is kept across samples instead of building a map each time.
+	ioVec []float64
 }
 
-// Clone deep-copies the store.
+// Clone deep-copies the store. The scratch IOVec buffer is not carried
+// over; the clone refills its own on first use.
 func (t *NodeTables) Clone() *NodeTables {
 	return &NodeTables{Out: t.Out.Clone(), In: t.In.Clone(), Trained: t.Trained}
 }
 
-// IOFlat flattens both tables into one sparse vector (the paper's
-// φ^io = φ^in ∪ φ^out) for cosine-similarity measurement. In-cells and
-// out-cells are namespaced so they never collide.
+// ioSpan is the per-dimension size of the dense φ^io layout: the calibrated
+// level space (NumLevels² packed states and actions).
+const ioSpan = NumLevels * NumLevels
+
+// IOVecLen is the length of the dense φ^io vector: the φ^out cells over the
+// full calibrated state×action space followed by the φ^in cells.
+const IOVecLen = 2 * ioSpan * ioSpan
+
+// IOVec flattens both tables into one dense vector (the paper's
+// φ^io = φ^in ∪ φ^out) aligned over the calibrated space, reusing the
+// node's buffer. Out-cells occupy the first half and in-cells the second,
+// so the two tables never collide — the dense counterpart of IOFlat's key
+// namespacing. All NodeTables share one layout, so vectors from different
+// nodes feed straight into aligned-slice cosine similarity.
+func (t *NodeTables) IOVec() []float64 {
+	if t.ioVec == nil {
+		t.ioVec = make([]float64, IOVecLen)
+	}
+	t.Out.FillDense(t.ioVec[:ioSpan*ioSpan], ioSpan, ioSpan)
+	t.In.FillDense(t.ioVec[ioSpan*ioSpan:], ioSpan, ioSpan)
+	return t.ioVec
+}
+
+// IOFlat flattens both tables into one sparse vector, namespacing in-cells
+// and out-cells so they never collide. It is retained as a compatibility
+// adapter for tests and map-based tooling; the measurement hot path uses
+// IOVec.
 func (t *NodeTables) IOFlat() map[IOKey]float64 {
 	out := make(map[IOKey]float64, t.Out.Len()+t.In.Len())
 	for k, v := range t.Out.Flat() {

@@ -49,6 +49,75 @@ func MeanPairwiseCosine[K comparable](e *sim.Engine, vec VectorFunc[K], pairs in
 	return sum / float64(cnt)
 }
 
+// DenseVectorFunc extracts a node's dense, aligned similarity vector; all
+// nodes must use one layout (same length, same cell order). Nodes returning
+// nil or empty are skipped. Convergence measurement runs every measured
+// round over every node, so the dense form — typically a per-node reusable
+// buffer over the calibrated Q space — replaces the per-sample map builds
+// of VectorFunc with slice fills.
+type DenseVectorFunc func(e *sim.Engine, n *sim.Node) []float64
+
+// collectDense gathers the eligible nodes' dense vectors, indexed alongside
+// holders.
+func collectDense(e *sim.Engine, vec DenseVectorFunc) ([]*sim.Node, [][]float64) {
+	var holders []*sim.Node
+	var vecs [][]float64
+	for _, n := range e.Nodes() {
+		if !n.Up() {
+			continue
+		}
+		if v := vec(e, n); len(v) > 0 {
+			holders = append(holders, n)
+			vecs = append(vecs, v)
+		}
+	}
+	return holders, vecs
+}
+
+// MeanPairwiseCosineDense is MeanPairwiseCosine over aligned dense vectors:
+// each sampled pair costs one dot-product scan, with no map allocation.
+func MeanPairwiseCosineDense(e *sim.Engine, vec DenseVectorFunc, pairs int, rng *sim.RNG) float64 {
+	holders, vecs := collectDense(e, vec)
+	if len(holders) < 2 {
+		return 1
+	}
+	if pairs <= 0 {
+		pairs = 64
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < pairs; i++ {
+		a := rng.Intn(len(holders))
+		b := rng.Intn(len(holders))
+		if holders[a].ID == holders[b].ID {
+			continue
+		}
+		sum += stats.CosineAligned(vecs[a], vecs[b])
+		cnt++
+	}
+	if cnt == 0 {
+		return 1
+	}
+	return sum / float64(cnt)
+}
+
+// AllPairsCosineDense computes the exact mean pairwise cosine similarity
+// over aligned dense vectors; O(n²) pairs, intended for small networks and
+// tests.
+func AllPairsCosineDense(e *sim.Engine, vec DenseVectorFunc) float64 {
+	_, vecs := collectDense(e, vec)
+	if len(vecs) < 2 {
+		return 1
+	}
+	sum, cnt := 0.0, 0
+	for i := 0; i < len(vecs); i++ {
+		for j := i + 1; j < len(vecs); j++ {
+			sum += stats.CosineAligned(vecs[i], vecs[j])
+			cnt++
+		}
+	}
+	return sum / float64(cnt)
+}
+
 // AllPairsCosine computes the exact mean pairwise cosine similarity across
 // all pairs of eligible nodes; O(n^2) and intended for small networks and
 // tests.

@@ -188,3 +188,92 @@ func TestDeadNodesDoNotGossip(t *testing.T) {
 		}
 	}
 }
+
+func TestMeanPairwiseCosineDense(t *testing.T) {
+	e := sim.NewEngine(6, 8)
+	vecs := make([][]float64, 6)
+	for i := range vecs {
+		vecs[i] = []float64{1, 2, 0}
+	}
+	vf := func(e *sim.Engine, n *sim.Node) []float64 { return vecs[n.ID] }
+	rng := sim.NewRNG(9)
+	if got := MeanPairwiseCosineDense(e, vf, 32, rng); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("identical vectors similarity = %g", got)
+	}
+	// Orthogonal halves: mean similarity well below 1.
+	for id := 3; id < 6; id++ {
+		vecs[id] = []float64{0, 0, 1}
+	}
+	if got := MeanPairwiseCosineDense(e, vf, 256, rng); got > 0.8 {
+		t.Fatalf("orthogonal halves similarity = %g", got)
+	}
+}
+
+func TestMeanPairwiseCosineDenseEdgeCases(t *testing.T) {
+	e := sim.NewEngine(3, 10)
+	rng := sim.NewRNG(1)
+	empty := func(e *sim.Engine, n *sim.Node) []float64 { return nil }
+	if got := MeanPairwiseCosineDense(e, empty, 8, rng); got != 1 {
+		t.Fatalf("no holders similarity = %g, want 1", got)
+	}
+	one := func(e *sim.Engine, n *sim.Node) []float64 {
+		if n.ID == 0 {
+			return []float64{1}
+		}
+		return nil
+	}
+	if got := MeanPairwiseCosineDense(e, one, 8, rng); got != 1 {
+		t.Fatalf("single holder similarity = %g, want 1", got)
+	}
+	// Down nodes are excluded like in the map-based variant.
+	all := func(e *sim.Engine, n *sim.Node) []float64 { return []float64{1} }
+	e.SetUp(e.Node(1), false)
+	e.SetUp(e.Node(2), false)
+	if got := MeanPairwiseCosineDense(e, all, 8, rng); got != 1 {
+		t.Fatalf("single up holder similarity = %g, want 1", got)
+	}
+}
+
+func TestAllPairsCosineDense(t *testing.T) {
+	e := sim.NewEngine(4, 11)
+	vecs := [][]float64{
+		{1, 0},
+		{1, 0},
+		{0, 1},
+		nil,
+	}
+	vf := func(e *sim.Engine, n *sim.Node) []float64 { return vecs[n.ID] }
+	// Pairs: (0,1)=1, (0,2)=0, (1,2)=0 -> mean 1/3.
+	if got := AllPairsCosineDense(e, vf); math.Abs(got-1.0/3) > 1e-9 {
+		t.Fatalf("AllPairsCosineDense = %g, want 1/3", got)
+	}
+}
+
+// TestDenseMatchesMapCosine cross-checks the two instrumentation paths on
+// identical data: the dense vectors are the map vectors laid out over a
+// fixed index space, so all-pairs similarity must agree to float rounding.
+func TestDenseMatchesMapCosine(t *testing.T) {
+	const dim = 64
+	e := sim.NewEngine(8, 13)
+	rng := sim.NewRNG(17)
+	maps := make([]map[int]float64, 8)
+	dense := make([][]float64, 8)
+	for i := range maps {
+		maps[i] = make(map[int]float64)
+		dense[i] = make([]float64, dim)
+		for k := 0; k < dim; k++ {
+			if rng.Float64() < 0.4 {
+				v := rng.Float64()*4 - 2
+				maps[i][k] = v
+				dense[i][k] = v
+			}
+		}
+	}
+	mf := func(e *sim.Engine, n *sim.Node) map[int]float64 { return maps[n.ID] }
+	df := func(e *sim.Engine, n *sim.Node) []float64 { return dense[n.ID] }
+	got := AllPairsCosineDense(e, df)
+	want := AllPairsCosine(e, mf)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("dense %g vs map %g", got, want)
+	}
+}

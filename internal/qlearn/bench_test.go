@@ -13,8 +13,33 @@ func fullTable(alpha, gamma float64) *Table {
 	return t
 }
 
+// fullSparse builds the same table on the retired map backing.
+func fullSparse(alpha, gamma float64) *Sparse {
+	t := NewSparse(alpha, gamma)
+	for s := State(0); s < 81; s++ {
+		for a := Action(0); a < 81; a++ {
+			t.Set(s, a, float64(s)+float64(a)/100)
+		}
+	}
+	return t
+}
+
+// BenchmarkUpdate pins the Equation 1 hot path: on the dense backend a
+// steady-state update (no growth) must be allocation-free — check allocs/op.
 func BenchmarkUpdate(b *testing.B) {
 	t := fullTable(0.5, 0.8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Update(State(i%81), Action(i%81), 5, State((i+1)%81))
+	}
+}
+
+// BenchmarkUpdateSparse is the map-backed baseline for BenchmarkUpdate.
+func BenchmarkUpdateSparse(b *testing.B) {
+	t := fullSparse(0.5, 0.8)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		t.Update(State(i%81), Action(i%81), 5, State((i+1)%81))
 	}
@@ -35,20 +60,57 @@ func BenchmarkMaxKnown(b *testing.B) {
 	}
 }
 
-// BenchmarkUnify measures one aggregation-phase merge of two full GLAP-sized
-// tables — the dominant cost of Algorithm 2.
+// BenchmarkUnify measures the aggregation-phase merge of two full GLAP-sized
+// tables in steady state — the dominant cost of Algorithm 2. The tables are
+// built once; after the first iteration every merge averages two equal full
+// tables, exactly the post-convergence exchanges that dominate a long
+// aggregation phase. Steady-state merges must be allocation-free.
 func BenchmarkUnify(b *testing.B) {
+	p := fullTable(0.5, 0.8)
+	q := fullTable(0.5, 0.8)
+	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		b.StopTimer()
-		p := fullTable(0.5, 0.8)
-		q := fullTable(0.5, 0.8)
-		b.StartTimer()
 		Unify(p, q)
+	}
+}
+
+// BenchmarkUnifySparse is the retired map-backed baseline for
+// BenchmarkUnify, on identical data.
+func BenchmarkUnifySparse(b *testing.B) {
+	p := fullSparse(0.5, 0.8)
+	q := fullSparse(0.5, 0.8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnifySparse(p, q)
+	}
+}
+
+// BenchmarkEqual measures the cheap-exit pre-check AggProtocol runs before
+// every merge, on equal full tables (the worst case: no early exit).
+func BenchmarkEqual(b *testing.B) {
+	p := fullTable(0.5, 0.8)
+	q := fullTable(0.5, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Equal(p, q)
+	}
+}
+
+// BenchmarkEqualSparse is the map-backed baseline for BenchmarkEqual.
+func BenchmarkEqualSparse(b *testing.B) {
+	p := fullSparse(0.5, 0.8)
+	q := fullSparse(0.5, 0.8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EqualSparse(p, q)
 	}
 }
 
 func BenchmarkClone(b *testing.B) {
 	t := fullTable(0.5, 0.8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = t.Clone()
 	}
@@ -56,7 +118,20 @@ func BenchmarkClone(b *testing.B) {
 
 func BenchmarkFlat(b *testing.B) {
 	t := fullTable(0.5, 0.8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = t.Flat()
+	}
+}
+
+// BenchmarkFillDense measures the dense vector fill that replaced Flat on
+// the convergence-measurement path.
+func BenchmarkFillDense(b *testing.B) {
+	t := fullTable(0.5, 0.8)
+	buf := make([]float64, 81*81)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.FillDense(buf, 81, 81)
 	}
 }

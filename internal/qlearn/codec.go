@@ -24,6 +24,12 @@ type cellJSON struct {
 
 const codecVersion = 1
 
+// maxCodecKey bounds the state/action values Decode accepts. The dense
+// backing allocates numS×numA cells, so an absurd key in a corrupt or
+// hostile checkpoint must fail the decode instead of forcing a huge
+// allocation. GLAP's calibrated spaces are < 100 per dimension.
+const maxCodecKey = 1 << 20
+
 // Encode writes the table as JSON. Cells are emitted in deterministic
 // (state, action) order so encodings of equal tables are byte-identical —
 // convenient for checkpoint diffing.
@@ -55,6 +61,9 @@ func Decode(r io.Reader) (*Table, error) {
 	}
 	t := New(in.Alpha, in.Gamma)
 	for _, c := range in.Cells {
+		if c.S >= maxCodecKey || c.A >= maxCodecKey {
+			return nil, fmt.Errorf("qlearn: cell key (%d, %d) out of range", c.S, c.A)
+		}
 		t.Set(c.S, c.A, c.Q)
 	}
 	return t, nil

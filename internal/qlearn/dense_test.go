@@ -1,0 +1,252 @@
+package qlearn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// tablesMatch compares a dense and a sparse table cell-for-cell over a
+// probe window comfortably larger than any key the test wrote.
+func tablesMatch(t *testing.T, d *Table, s *Sparse, probe int) {
+	t.Helper()
+	if d.Len() != s.Len() {
+		t.Fatalf("Len: dense %d, sparse %d", d.Len(), s.Len())
+	}
+	for si := State(0); si < State(probe); si++ {
+		for ai := Action(0); ai < Action(probe); ai++ {
+			if d.Has(si, ai) != s.Has(si, ai) {
+				t.Fatalf("Has(%d,%d): dense %v, sparse %v", si, ai, d.Has(si, ai), s.Has(si, ai))
+			}
+			if d.Get(si, ai) != s.Get(si, ai) {
+				t.Fatalf("Get(%d,%d): dense %g, sparse %g", si, ai, d.Get(si, ai), s.Get(si, ai))
+			}
+		}
+	}
+}
+
+// TestSparseDenseDifferential replays one recorded pseudo-random sequence of
+// updates, sets and gossip merges through the dense backend and the retired
+// sparse reference in lockstep, asserting identical tables at every merge
+// point. Both implementations use identical arithmetic, so equality is
+// exact, not approximate.
+func TestSparseDenseDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(20160901))
+	d1, d2 := New(0.5, 0.8), New(0.5, 0.8)
+	s1, s2 := NewSparse(0.5, 0.8), NewSparse(0.5, 0.8)
+
+	randState := func() State { return State(rng.Intn(81)) }
+	randAction := func() Action { return Action(rng.Intn(81)) }
+
+	for step := 0; step < 4000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 6: // Q-learning update on one endpoint
+			s, a, next := randState(), randAction(), randState()
+			r := rng.NormFloat64() * 10
+			if rng.Intn(2) == 0 {
+				gd, gs := d1.Update(s, a, r, next), s1.Update(s, a, r, next)
+				if gd != gs {
+					t.Fatalf("step %d: Update returned %g dense, %g sparse", step, gd, gs)
+				}
+			} else {
+				d2.Update(s, a, r, next)
+				s2.Update(s, a, r, next)
+			}
+		case op < 8: // raw write
+			s, a := randState(), randAction()
+			v := rng.NormFloat64()
+			d1.Set(s, a, v)
+			s1.Set(s, a, v)
+		case op < 9: // occasional key outside the calibrated span
+			s, a := State(81+rng.Intn(40)), Action(81+rng.Intn(40))
+			v := rng.NormFloat64()
+			d2.Set(s, a, v)
+			s2.Set(s, a, v)
+		default: // gossip merge
+			Unify(d1, d2)
+			UnifySparse(s1, s2)
+			if !Equal(d1, d2) {
+				t.Fatalf("step %d: dense tables differ after Unify", step)
+			}
+			if !EqualSparse(s1, s2) {
+				t.Fatalf("step %d: sparse tables differ after UnifySparse", step)
+			}
+			tablesMatch(t, d1, s1, 140)
+			tablesMatch(t, d2, s2, 140)
+		}
+	}
+	tablesMatch(t, d1, s1, 140)
+	tablesMatch(t, d2, s2, 140)
+
+	// The MaxKnown landscape must agree too (it drives Update's bootstrap).
+	for s := State(0); s < 140; s++ {
+		if d1.MaxKnown(s) != s1.MaxKnown(s) {
+			t.Fatalf("MaxKnown(%d): dense %g, sparse %g", s, d1.MaxKnown(s), s1.MaxKnown(s))
+		}
+	}
+}
+
+// TestUpdateAllocFree pins the dense backend's steady-state guarantee:
+// once a table spans its keys, Update and Unify allocate nothing.
+func TestUpdateAllocFree(t *testing.T) {
+	tb := New(0.5, 0.8)
+	tb.Set(0, 0, 1) // first write allocates the dense span
+	if allocs := testing.AllocsPerRun(100, func() {
+		tb.Update(3, 4, 5, 6)
+	}); allocs != 0 {
+		t.Fatalf("Update allocates %g objects/op in steady state", allocs)
+	}
+
+	p, q := New(0.5, 0.8), New(0.5, 0.8)
+	p.Set(1, 2, 3)
+	q.Set(4, 5, 6)
+	Unify(p, q) // aligns the backings
+	if allocs := testing.AllocsPerRun(100, func() {
+		Unify(p, q)
+	}); allocs != 0 {
+		t.Fatalf("Unify allocates %g objects/op in steady state", allocs)
+	}
+}
+
+// randomTable builds a dense table with ~density of the probe space filled.
+func randomTable(rng *rand.Rand, density float64) *Table {
+	tb := New(0.5, 0.8)
+	for s := State(0); s < 81; s++ {
+		for a := Action(0); a < 81; a++ {
+			if rng.Float64() < density {
+				tb.Set(s, a, rng.NormFloat64())
+			}
+		}
+	}
+	return tb
+}
+
+// TestUnifyCommutative checks that the merge has no side preference:
+// Unify(p, q) and Unify(q, p) produce the same table.
+func TestUnifyCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		p, q := randomTable(rng, 0.3), randomTable(rng, 0.3)
+		pc, qc := p.Clone(), q.Clone()
+		Unify(p, q)
+		Unify(qc, pc)
+		if !Equal(p, qc) || !Equal(q, pc) {
+			t.Fatalf("trial %d: Unify is not commutative", trial)
+		}
+	}
+}
+
+// TestUnifyIdempotentDense checks Unify twice == once: the second merge of
+// two already-equal tables must not move any value.
+func TestUnifyIdempotentDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		p, q := randomTable(rng, 0.4), randomTable(rng, 0.4)
+		Unify(p, q)
+		once := p.Clone()
+		Unify(p, q)
+		if !Equal(p, once) || !Equal(q, once) {
+			t.Fatalf("trial %d: second Unify changed the tables", trial)
+		}
+	}
+}
+
+// TestUnifyPostEqual checks the merge contract directly: after Unify the two
+// tables are Equal, whatever their overlap.
+func TestUnifyPostEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		p, q := randomTable(rng, rng.Float64()), randomTable(rng, rng.Float64())
+		Unify(p, q)
+		if !Equal(p, q) {
+			t.Fatalf("trial %d: tables differ after Unify", trial)
+		}
+	}
+}
+
+// TestGrowthBeyondSpan exercises the growth path: keys outside the
+// calibrated 81×81 span must work, including merges and equality between
+// tables that grew at different times (and so have different dimensions).
+func TestGrowthBeyondSpan(t *testing.T) {
+	p := New(0.5, 0.8)
+	p.Set(1, 1, 2)
+	p.Set(200, 300, 7) // forces growth of both dimensions
+	if !p.Has(200, 300) || p.Get(200, 300) != 7 || p.Get(1, 1) != 2 {
+		t.Fatal("growth lost cells")
+	}
+	if p.Get(5000, 5000) != 0 || p.Has(5000, 5000) {
+		t.Fatal("far out-of-range reads must be zero/absent")
+	}
+
+	q := New(0.5, 0.8) // stays at calibrated dims after first write
+	q.Set(1, 1, 2)
+	q.Set(200, 300, 7)
+	if !Equal(p, q) {
+		t.Fatal("same contents, different growth history: Equal must hold")
+	}
+
+	small := New(0.5, 0.8)
+	small.Set(3, 4, -1)
+	Unify(p, small)
+	if !Equal(p, small) || small.Get(200, 300) != 7 || p.Get(3, 4) != -1 {
+		t.Fatal("Unify across different dimensions broken")
+	}
+}
+
+// TestKeysOrderAfterGrowth pins Keys' deterministic (state, action) order on
+// grown tables.
+func TestKeysOrderAfterGrowth(t *testing.T) {
+	p := New(0.5, 0.8)
+	p.Set(90, 2, 1)
+	p.Set(1, 85, 1)
+	p.Set(1, 2, 1)
+	want := []Key{{1, 2}, {1, 85}, {90, 2}}
+	keys := p.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("keys %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v, want %v", keys, want)
+		}
+	}
+}
+
+// TestFillDense checks the dense vector adapter: layout, zero-fill of
+// absent cells, clipping of out-of-span cells, buffer reuse.
+func TestFillDense(t *testing.T) {
+	p := New(0.5, 0.8)
+	p.Set(1, 2, 5)
+	p.Set(3, 0, -2)
+	p.Set(100, 100, 9) // outside the requested span: dropped
+
+	buf := make([]float64, 81*81)
+	for i := range buf {
+		buf[i] = 99 // stale garbage that FillDense must clear
+	}
+	got := p.FillDense(buf, 81, 81)
+	if &got[0] != &buf[0] {
+		t.Fatal("FillDense must fill the caller's buffer")
+	}
+	nonzero := 0
+	for i, v := range got {
+		switch i {
+		case 1*81 + 2:
+			if v != 5 {
+				t.Fatalf("cell (1,2) = %g", v)
+			}
+			nonzero++
+		case 3 * 81:
+			if v != -2 {
+				t.Fatalf("cell (3,0) = %g", v)
+			}
+			nonzero++
+		default:
+			if v != 0 {
+				t.Fatalf("cell %d = %g, want 0", i, v)
+			}
+		}
+	}
+	if nonzero != 2 {
+		t.Fatalf("%d nonzero cells", nonzero)
+	}
+}

@@ -6,11 +6,22 @@
 // (Equation 1 of the paper), greedy/ε-greedy action selection, and the
 // gossip merge ("average when both know the pair, adopt when only one does")
 // that Algorithm 2's aggregation phase applies.
+//
+// Tables are backed by a dense value array plus a presence bitset, keyed by
+// int(s)*numA + int(a). GLAP's calibrated state/action space is small and
+// fixed — (CPU, MEM) level pairs on the paper's 9-level scale, 81 states ×
+// 81 actions — and the aggregation phase push-pulls full tables at
+// N×rounds frequency, which makes Unify/Equal/Clone the simulation's hot
+// path. The dense layout turns them into branch-light linear scans over
+// aligned slices with zero steady-state allocation; gossip-averaged RL is
+// exactly the repeated-pairwise-merge workload where flat-vector state pays
+// off (Mathkar & Borkar model the iterates as vectors). Keys outside the
+// calibrated span are legal: the backing grows on demand.
 package qlearn
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // State is a discrete environment state. GLAP packs a PM's calibrated
@@ -27,19 +38,33 @@ type Key struct {
 	A Action
 }
 
-// Table is a sparse Q-table together with its learning parameters. The zero
-// value is not ready; use New.
+// DenseSpan is the per-dimension capacity the backing array starts with:
+// GLAP's calibrated level space (9 levels × 2 resources = 81 packed states
+// and actions). The first write allocates DenseSpan×DenseSpan cells, so
+// tables over the calibrated space never reallocate.
+const DenseSpan = 81
+
+// Table is a Q-table together with its learning parameters. The zero value
+// is not ready; use New.
+//
+// Storage is dense: q[s*numA+a] holds the value of cell (s, a) and a bitset
+// records which cells have been written. Cells never written hold 0 in q,
+// so reads skip the bitset entirely.
 type Table struct {
 	// Alpha is the learning rate in (0, 1].
 	Alpha float64
 	// Gamma is the discount factor in [0, 1).
 	Gamma float64
 
-	q map[State]map[Action]float64
-	n int
+	numS, numA int       // current dense dimensions
+	q          []float64 // len numS*numA; unwritten cells hold 0
+	mask       []uint64  // presence bitset over cell indices
+	n          int       // number of written cells
 }
 
-// New returns an empty table with the given learning rate and discount.
+// New returns an empty table with the given learning rate and discount. The
+// backing array is allocated lazily on first write, so never-trained tables
+// (PMs that end the learning phase without Q-values) stay cheap.
 func New(alpha, gamma float64) *Table {
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("qlearn: alpha %g out of (0,1]", alpha))
@@ -47,61 +72,148 @@ func New(alpha, gamma float64) *Table {
 	if gamma < 0 || gamma >= 1 {
 		panic(fmt.Sprintf("qlearn: gamma %g out of [0,1)", gamma))
 	}
-	return &Table{Alpha: alpha, Gamma: gamma, q: make(map[State]map[Action]float64)}
+	return &Table{Alpha: alpha, Gamma: gamma}
 }
 
 // Len returns the number of (state, action) cells present.
 func (t *Table) Len() int { return t.n }
 
 // Get returns the Q-value for (s, a); missing cells read as 0, matching the
-// optimistic-zero initialisation the paper's reward design assumes.
+// optimistic-zero initialisation the paper's reward design assumes. The
+// zero-for-absent invariant of the backing array makes this a pure bounds
+// check plus load.
 func (t *Table) Get(s State, a Action) float64 {
-	return t.q[s][a]
+	si, ai := int(s), int(a)
+	if si >= t.numS || ai >= t.numA {
+		return 0
+	}
+	return t.q[si*t.numA+ai]
 }
 
 // Has reports whether the cell (s, a) has been written.
 func (t *Table) Has(s State, a Action) bool {
-	row, ok := t.q[s]
-	if !ok {
+	si, ai := int(s), int(a)
+	if si >= t.numS || ai >= t.numA {
 		return false
 	}
-	_, ok = row[a]
-	return ok
+	i := si*t.numA + ai
+	return t.mask[i>>6]&(1<<uint(i&63)) != 0
 }
 
-// Set writes the Q-value for (s, a).
+// Set writes the Q-value for (s, a), growing the backing array when the key
+// falls outside the current dense span. Writes inside the span — the steady
+// state — do not allocate.
 func (t *Table) Set(s State, a Action, v float64) {
-	row, ok := t.q[s]
-	if !ok {
-		row = make(map[Action]float64)
-		t.q[s] = row
+	si, ai := int(s), int(a)
+	if si >= t.numS || ai >= t.numA {
+		t.grow(roundDim(si+1, t.numS), roundDim(ai+1, t.numA))
 	}
-	if _, exists := row[a]; !exists {
+	i := si*t.numA + ai
+	if w, b := i>>6, uint64(1)<<uint(i&63); t.mask[w]&b == 0 {
+		t.mask[w] |= b
 		t.n++
 	}
-	row[a] = v
+	t.q[i] = v
+}
+
+// roundDim picks the grown size for one dimension: at least DenseSpan, then
+// doubling, so growth beyond the calibrated space stays amortised.
+func roundDim(need, cur int) int {
+	d := cur
+	if d < DenseSpan {
+		d = DenseSpan
+	}
+	for d < need {
+		d *= 2
+	}
+	return d
+}
+
+// grow reallocates the backing to exactly (ns, na) dimensions, preserving
+// all cells. It is a no-op when the table already spans the request.
+func (t *Table) grow(ns, na int) {
+	if ns <= t.numS && na <= t.numA {
+		return
+	}
+	if ns < t.numS {
+		ns = t.numS
+	}
+	if na < t.numA {
+		na = t.numA
+	}
+	q := make([]float64, ns*na)
+	mask := make([]uint64, (ns*na+63)/64)
+	for s := 0; s < t.numS; s++ {
+		copy(q[s*na:], t.q[s*t.numA:(s+1)*t.numA])
+	}
+	for _, i := range t.presentIndices() {
+		j := (i/t.numA)*na + i%t.numA
+		mask[j>>6] |= 1 << uint(j&63)
+	}
+	t.numS, t.numA, t.q, t.mask = ns, na, q, mask
+}
+
+// presentIndices returns the raw cell indices of all written cells in
+// ascending order. Only used on the (rare) growth path.
+func (t *Table) presentIndices() []int {
+	out := make([]int, 0, t.n)
+	for w, word := range t.mask {
+		for b := word; b != 0; b &= b - 1 {
+			out = append(out, w<<6+bits.TrailingZeros64(b))
+		}
+	}
+	return out
+}
+
+// nextPresent returns the index of the first written cell in [from, to), or
+// -1 when none exists.
+func (t *Table) nextPresent(from, to int) int {
+	if from >= to {
+		return -1
+	}
+	w := from >> 6
+	word := t.mask[w] &^ (1<<uint(from&63) - 1)
+	for {
+		if word != 0 {
+			if i := w<<6 + bits.TrailingZeros64(word); i < to {
+				return i
+			}
+			return -1
+		}
+		w++
+		if w<<6 >= to {
+			return -1
+		}
+		word = t.mask[w]
+	}
 }
 
 // MaxKnown returns the largest Q-value recorded for state s, or 0 when the
 // state has never been visited (the bootstrap value for unseen states).
+// best seeds from the first written cell of the row, so no emptiness flag
+// is threaded through the scan.
 func (t *Table) MaxKnown(s State) float64 {
-	row, ok := t.q[s]
-	if !ok || len(row) == 0 {
+	si := int(s)
+	if si >= t.numS {
 		return 0
 	}
-	first := true
-	best := 0.0
-	for _, v := range row {
-		if first || v > best {
+	lo, hi := si*t.numA, (si+1)*t.numA
+	i := t.nextPresent(lo, hi)
+	if i < 0 {
+		return 0
+	}
+	best := t.q[i]
+	for i = t.nextPresent(i+1, hi); i >= 0; i = t.nextPresent(i+1, hi) {
+		if v := t.q[i]; v > best {
 			best = v
-			first = false
 		}
 	}
 	return best
 }
 
 // Update applies Equation 1 for the transition (s, a) -> next with observed
-// reward r, and returns the new Q-value.
+// reward r, and returns the new Q-value. In steady state (both states inside
+// the dense span) it performs no allocation.
 func (t *Table) Update(s State, a Action, r float64, next State) float64 {
 	old := t.Get(s, a)
 	v := (1-t.Alpha)*old + t.Alpha*(r+t.Gamma*t.MaxKnown(next))
@@ -126,42 +238,66 @@ func (t *Table) Best(s State, candidates []Action) (a Action, q float64, ok bool
 	return a, q, true
 }
 
-// Keys returns all written cells in deterministic (state, action) order.
+// Keys returns all written cells in (state, action) order. The dense index
+// s*numA+a is already sorted by (s, a), so this is a single bitset walk.
 func (t *Table) Keys() []Key {
 	keys := make([]Key, 0, t.n)
-	for s, row := range t.q {
-		for a := range row {
-			keys = append(keys, Key{s, a})
+	for w, word := range t.mask {
+		for b := word; b != 0; b &= b - 1 {
+			i := w<<6 + bits.TrailingZeros64(b)
+			keys = append(keys, Key{State(i / t.numA), Action(i % t.numA)})
 		}
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].S != keys[j].S {
-			return keys[i].S < keys[j].S
-		}
-		return keys[i].A < keys[j].A
-	})
 	return keys
 }
 
-// Flat returns the table contents as a map for vector-space comparisons
-// (cosine similarity in the Figure 5 experiment).
+// Flat returns the table contents as a sparse map. It is retained as a
+// compatibility adapter for the codec, snapshots and tests; hot paths use
+// the dense backing directly (see FillDense).
 func (t *Table) Flat() map[Key]float64 {
 	out := make(map[Key]float64, t.n)
-	for s, row := range t.q {
-		for a, v := range row {
-			out[Key{s, a}] = v
+	for w, word := range t.mask {
+		for b := word; b != 0; b &= b - 1 {
+			i := w<<6 + bits.TrailingZeros64(b)
+			out[Key{State(i / t.numA), Action(i % t.numA)}] = t.q[i]
 		}
 	}
 	return out
 }
 
-// Clone returns a deep copy of the table.
+// FillDense writes the table's cells into dst laid out as numS×numA
+// (dst[s*numA+a], unwritten cells 0) and returns dst. Cells outside the
+// requested span are dropped; GLAP's calibrated tables never have any. The
+// caller supplies dst so per-sample convergence measurement can reuse one
+// buffer instead of building a map per node per round.
+func (t *Table) FillDense(dst []float64, numS, numA int) []float64 {
+	if len(dst) < numS*numA {
+		panic(fmt.Sprintf("qlearn: FillDense dst len %d < %d×%d", len(dst), numS, numA))
+	}
+	for i := range dst[:numS*numA] {
+		dst[i] = 0
+	}
+	cs, ca := t.numS, t.numA
+	if cs > numS {
+		cs = numS
+	}
+	if ca > numA {
+		ca = numA
+	}
+	for s := 0; s < cs; s++ {
+		copy(dst[s*numA:s*numA+ca], t.q[s*t.numA:])
+	}
+	return dst
+}
+
+// Clone returns a deep copy of the table: two copies of flat slices.
 func (t *Table) Clone() *Table {
-	c := New(t.Alpha, t.Gamma)
-	for s, row := range t.q {
-		for a, v := range row {
-			c.Set(s, a, v)
-		}
+	c := &Table{Alpha: t.Alpha, Gamma: t.Gamma, numS: t.numS, numA: t.numA, n: t.n}
+	if t.q != nil {
+		c.q = make([]float64, len(t.q))
+		copy(c.q, t.q)
+		c.mask = make([]uint64, len(t.mask))
+		copy(c.mask, t.mask)
 	}
 	return c
 }
@@ -170,58 +306,83 @@ func (t *Table) Clone() *Table {
 // in both become the average of the two values in both tables; cells present
 // in only one are copied to the other. After Unify the tables are equal.
 //
-// The merge works row-wise on the underlying maps: aggregation gossip runs
-// this once per node per round over the full table, so avoiding the
-// per-cell Has/Get/Set lookups matters at cluster scale.
+// With aligned dense backings the merge is one pass over the presence
+// words — averaging where both bits are set, copying where one is — with no
+// per-cell hashing and no allocation once both tables span the same
+// dimensions. Aggregation gossip runs this once per node per round over the
+// full table, so this loop dominates Algorithm 2's cost at cluster scale.
 func Unify(p, q *Table) {
-	for s, prow := range p.q {
-		qrow, ok := q.q[s]
-		if !ok {
-			qrow = make(map[Action]float64, len(prow))
-			q.q[s] = qrow
+	if p.numS != q.numS || p.numA != q.numA {
+		ns, na := p.numS, p.numA
+		if q.numS > ns {
+			ns = q.numS
 		}
-		for a, pv := range prow {
-			if qv, has := qrow[a]; has {
-				avg := (pv + qv) / 2
-				prow[a] = avg
-				qrow[a] = avg
-			} else {
-				qrow[a] = pv
-				q.n++
-			}
+		if q.numA > na {
+			na = q.numA
 		}
+		p.grow(ns, na)
+		q.grow(ns, na)
 	}
-	for s, qrow := range q.q {
-		prow, ok := p.q[s]
-		if !ok {
-			prow = make(map[Action]float64, len(qrow))
-			p.q[s] = prow
+	n := 0
+	for w := range p.mask {
+		pw, qw := p.mask[w], q.mask[w]
+		if pw|qw == 0 {
+			continue
 		}
-		for a, qv := range qrow {
-			if _, has := prow[a]; !has {
-				prow[a] = qv
-				p.n++
-			}
+		base := w << 6
+		for b := pw & qw; b != 0; b &= b - 1 {
+			i := base + bits.TrailingZeros64(b)
+			avg := (p.q[i] + q.q[i]) / 2
+			p.q[i], q.q[i] = avg, avg
 		}
+		for b := pw &^ qw; b != 0; b &= b - 1 {
+			i := base + bits.TrailingZeros64(b)
+			q.q[i] = p.q[i]
+		}
+		for b := qw &^ pw; b != 0; b &= b - 1 {
+			i := base + bits.TrailingZeros64(b)
+			p.q[i] = q.q[i]
+		}
+		u := pw | qw
+		p.mask[w], q.mask[w] = u, u
+		n += bits.OnesCount64(u)
 	}
+	p.n, q.n = n, n
 }
 
 // Equal reports whether two tables hold exactly the same cells and values.
-// It exits on the first difference.
+// It exits on the first difference. For tables with aligned backings — the
+// invariable case once aggregation gossip has run — it is two linear slice
+// scans.
 func Equal(p, q *Table) bool {
 	if p.n != q.n {
 		return false
 	}
-	for s, prow := range p.q {
-		qrow, ok := q.q[s]
-		if !ok {
-			if len(prow) > 0 {
+	if p.n == 0 {
+		return true
+	}
+	if p.numS == q.numS && p.numA == q.numA {
+		for w := range p.mask {
+			if p.mask[w] != q.mask[w] {
 				return false
 			}
-			continue
 		}
-		for a, v := range prow {
-			if qv, has := qrow[a]; !has || qv != v {
+		// Unwritten cells hold 0 on both sides, so whole-array comparison
+		// is exact.
+		for i := range p.q {
+			if p.q[i] != q.q[i] {
+				return false
+			}
+		}
+		return true
+	}
+	// Dimensions differ (tables grown past the calibrated span at different
+	// times): compare cell-wise. n equality above rules out extras in q.
+	for w, word := range p.mask {
+		for b := word; b != 0; b &= b - 1 {
+			i := w<<6 + bits.TrailingZeros64(b)
+			s, a := State(i/p.numA), Action(i%p.numA)
+			if !q.Has(s, a) || q.Get(s, a) != p.q[i] {
 				return false
 			}
 		}

@@ -5,10 +5,7 @@
 // (seed, replication) pair fully determines a run.
 package sim
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Node is one simulated machine. Per-protocol state is held in a slice
 // indexed by the protocol's registration order.
@@ -161,11 +158,6 @@ func (e *Engine) State(name string, n *Node) any {
 
 // setup runs Setup for every protocol on every node, in registration order.
 func (e *Engine) setup() {
-	names := make([]string, 0, len(e.protocols))
-	for name := range e.protoIdx {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	for _, n := range e.nodes {
 		if n.states == nil {
 			n.states = make([]any, len(e.protocols))

@@ -131,6 +131,25 @@ func Cosine(a, b []float64) (float64, error) {
 	return dot / (math.Sqrt(na) * math.Sqrt(nb)), nil
 }
 
+// CosineAligned returns the cosine similarity of two aligned equal-length
+// dense vectors, 0 when either has zero norm. It is the allocation-free hot
+// path of the convergence instrumentation: unlike Cosine it neither checks
+// lengths nor returns an error, so callers must pass slices laid out over
+// the same index space (it panics on a shorter b, like any slice misuse).
+func CosineAligned(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i, va := range a {
+		vb := b[i]
+		dot += va * vb
+		na += va * va
+		nb += vb * vb
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (math.Sqrt(na) * math.Sqrt(nb))
+}
+
 // CosineMaps computes cosine similarity between two sparse vectors
 // represented as maps. Keys missing from one map contribute a zero
 // coordinate. Identical maps yield exactly 1 (up to float rounding).
