@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, or kernel (dense-vs-sparse hot-path comparison)")
+	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), or robust (async consolidation under loss × latency)")
 	sizes := flag.String("sizes", "100", "comma-separated cluster sizes")
 	ratios := flag.String("ratios", "2,3,4", "comma-separated VM:PM ratios")
 	rounds := flag.Int("rounds", 240, "consolidation rounds (2 simulated minutes each)")
@@ -31,6 +31,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master seed")
 	workers := flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS)")
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
+	drops := flag.String("drops", "0,0.1,0.2", "comma-separated message-loss probabilities for -exp robust")
+	lats := flag.String("lats", "1,30,90", "comma-separated one-way message latencies for -exp robust")
 	flag.Parse()
 
 	grid := glapsim.Grid{
@@ -50,6 +52,22 @@ func main() {
 
 	if want["kernel"] {
 		runKernel(*seed)
+		if len(want) == 1 {
+			return
+		}
+	}
+
+	if want["robust"] {
+		runRobust(glapsim.RobustConfig{
+			PMs:       grid.Sizes[0],
+			Ratio:     grid.Ratios[0],
+			Rounds:    *rounds,
+			Reps:      *reps,
+			Seed:      *seed,
+			DropProbs: parseFloats(*drops),
+			Latencies: parseInt64s(*lats),
+			Workers:   *workers,
+		})
 		if len(want) == 1 {
 			return
 		}

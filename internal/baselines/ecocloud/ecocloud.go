@@ -35,7 +35,7 @@ type Protocol struct {
 	// Select overrides the peer selector (defaults to Cyclon sampling).
 	Select gossip.PeerSelector
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // New returns the baseline with the paper's configuration (T1=0.3, T2=0.8).
@@ -48,9 +48,6 @@ func (p *Protocol) Name() string { return ProtocolName }
 
 // Setup implements sim.Protocol.
 func (p *Protocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if p.rng == nil {
-		p.rng = e.RNG().Derive(0xec0c1d)
-	}
 	return struct{}{}
 }
 
@@ -74,6 +71,7 @@ func (p *Protocol) assentProb(x float64) float64 {
 // Round implements one EcoCloud round for PM n: shed when above T2,
 // probabilistically evacuate when below T1.
 func (p *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	rng := p.rng.For(e, 0xec0c1d)
 	c := p.B.C
 	pm := p.B.PM(n)
 	if !pm.On() || pm.NumVMs() == 0 {
@@ -86,13 +84,13 @@ func (p *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
 		// EcoCloud (a Bernoulli trial whose success probability grows with
 		// the excess), which avoids shedding cascades but lets overload
 		// persist for a while — the behaviour the paper's Figure 6 shows.
-		if p.rng.Bernoulli(math.Min(1, (u-p.T2)/(1-p.T2))) {
+		if rng.Bernoulli(math.Min(1, (u-p.T2)/(1-p.T2))) {
 			p.shed(e, n, pm)
 		}
 	case u < p.T1:
 		// Migration probability grows as the server empties:
 		// 1 − u/T1.
-		if p.rng.Bernoulli(1 - u/p.T1) {
+		if rng.Bernoulli(1 - u/p.T1) {
 			p.evacuate(e, n, pm)
 		}
 	}
@@ -147,13 +145,14 @@ func (p *Protocol) evacuate(e *sim.Engine, n *sim.Node, pm *dc.PM) {
 // assents via the Bernoulli trial and must fit the VM's current demand while
 // staying at or below T2 on both resources.
 func (p *Protocol) findAssenting(e *sim.Engine, n *sim.Node, vm *dc.VM) *dc.PM {
+	rng := p.rng.For(e, 0xec0c1d)
 	c := p.B.C
 	sel := p.Select
 	if sel == nil {
 		sel = gossip.CyclonSelector
 	}
 	for i := 0; i < p.Candidates; i++ {
-		peer := sel(e, n, p.rng)
+		peer := sel(e, n, rng)
 		if peer < 0 {
 			return nil
 		}
@@ -166,7 +165,7 @@ func (p *Protocol) findAssenting(e *sim.Engine, n *sim.Node, vm *dc.VM) *dc.PM {
 		if after[dc.CPU] > p.T2 || after[dc.Mem] > p.T2 {
 			continue
 		}
-		if p.rng.Bernoulli(p.assentProb(u[dc.CPU])) {
+		if rng.Bernoulli(p.assentProb(u[dc.CPU])) {
 			return pm
 		}
 	}

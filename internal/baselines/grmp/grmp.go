@@ -29,7 +29,7 @@ type Protocol struct {
 	// Select overrides the peer selector (defaults to Cyclon sampling).
 	Select gossip.PeerSelector
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // New returns the baseline with the paper's static 0.8 threshold.
@@ -42,9 +42,6 @@ func (g *Protocol) Name() string { return ProtocolName }
 
 // Setup implements sim.Protocol.
 func (g *Protocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if g.rng == nil {
-		g.rng = e.RNG().Derive(0x62e3)
-	}
 	return struct{}{}
 }
 
@@ -56,7 +53,7 @@ func (g *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	if sel == nil {
 		sel = gossip.CyclonSelector
 	}
-	peer := sel(e, n, g.rng)
+	peer := sel(e, n, g.rng.For(e, 0x62e3))
 	if peer < 0 {
 		return
 	}

@@ -84,8 +84,13 @@ type Protocol struct {
 	// ViewSize; typical: 8).
 	ShuffleLen int
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
+
+// rngFor returns the protocol's random stream for engine e, re-deriving it
+// when the protocol value is reused on a different engine so that every
+// engine sees the stream its own seed determines.
+func (c *Protocol) rngFor(e *sim.Engine) *sim.RNG { return c.rng.For(e, 0xc1c10) }
 
 // New returns a Cyclon protocol with the given view size and shuffle length.
 func New(viewSize, shuffleLen int) *Protocol {
@@ -103,16 +108,14 @@ func (c *Protocol) Name() string { return ProtocolName }
 
 // Setup bootstraps node n's view with ViewSize distinct random peers.
 func (c *Protocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if c.rng == nil {
-		c.rng = e.RNG().Derive(0xc1c10)
-	}
+	rng := c.rngFor(e)
 	v := &View{}
 	size := c.ViewSize
 	if size > e.N()-1 {
 		size = e.N() - 1
 	}
 	for len(v.entries) < size {
-		p := c.rng.Intn(e.N())
+		p := rng.Intn(e.N())
 		if p == n.ID || v.Contains(p) {
 			continue
 		}
@@ -131,6 +134,7 @@ func viewOf(e *sim.Engine, n *sim.Node) *View {
 // preferring fresh entries. Entries pointing at switched-off nodes are
 // discarded as they are encountered (the simulation analogue of a timeout).
 func (c *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	rng := c.rngFor(e)
 	v := viewOf(e, n)
 	for i := range v.entries {
 		v.entries[i].Age++
@@ -154,7 +158,7 @@ func (c *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	// Build the request: self with age 0 plus up to ShuffleLen-1 random
 	// view entries.
 	req := []Entry{{Peer: n.ID, Age: 0}}
-	idx := c.rng.Perm(len(v.entries))
+	idx := rng.Perm(len(v.entries))
 	for _, i := range idx {
 		if len(req) >= c.ShuffleLen {
 			break
@@ -166,7 +170,7 @@ func (c *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	// merges the request.
 	qv := viewOf(e, q)
 	var reply []Entry
-	qidx := c.rng.Perm(len(qv.entries))
+	qidx := rng.Perm(len(qv.entries))
 	for _, i := range qidx {
 		if len(reply) >= c.ShuffleLen {
 			break

@@ -203,3 +203,29 @@ func TestViewAccessors(t *testing.T) {
 		t.Fatal("oldestIndex of empty view should be -1")
 	}
 }
+
+// TestProtocolReuseDeterminism pins the BoundRNG fix: running the same
+// Protocol value on a second engine must match a fresh instance on that
+// engine — the derived stream may not leak state across engines.
+func TestProtocolReuseDeterminism(t *testing.T) {
+	const nodes, rounds, view, shuffle = 30, 20, 6, 3
+	p := New(view, shuffle)
+	e1 := sim.NewEngine(nodes, 3)
+	e1.Register(p)
+	e1.RunRounds(rounds)
+	e2 := sim.NewEngine(nodes, 5)
+	e2.Register(p) // reused instance
+	e2.RunRounds(rounds)
+	ref := runCyclon(t, nodes, rounds, view, shuffle, 5)
+	for _, n := range e2.Nodes() {
+		got, want := ViewOf(e2, n).Entries(), ViewOf(ref, n).Entries()
+		if len(got) != len(want) {
+			t.Fatalf("node %d: view size %d != %d", n.ID, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("node %d entry %d: reused instance %+v != fresh %+v", n.ID, i, got[i], want[i])
+			}
+		}
+	}
+}

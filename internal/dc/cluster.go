@@ -35,10 +35,13 @@ type VM struct {
 	requestedCPU float64
 
 	// Lifecycle bounds: the VM exists in rounds [arrive, depart); depart<0
-	// means forever. departed marks a VM that has left for good.
+	// means forever. departed marks a VM that has left for good; seeded
+	// records that arrival restarted demand monitoring, so placement
+	// retries in later rounds don't wipe the running average again.
 	arrive   int
 	depart   int
 	departed bool
+	seeded   bool
 }
 
 // AvgDemand returns the running average demand fraction per resource (the
@@ -83,6 +86,11 @@ type PM struct {
 	// floating-point drift cannot accumulate across rounds.
 	curSum Vec
 	avgSum Vec
+
+	// reserved holds capacity set aside for in-flight migrations, keyed by
+	// offer token; reservedSum caches the aggregate (see reserve.go).
+	reserved    map[uint64]Vec
+	reservedSum Vec
 
 	// activeSeconds is total time switched on; overloadSeconds is time
 	// spent at 100% CPU utilisation (for SLAVO).
@@ -146,6 +154,10 @@ type Cluster struct {
 
 	// Migrations is the cumulative migration count.
 	Migrations int64
+	// FailedPlacements counts arrival rounds in which an arriving VM could
+	// not be placed (no powered PM); each failed attempt counts once, so the
+	// value also reflects how long arrivals waited.
+	FailedPlacements int64
 	// MigrationEnergyJ is the cumulative migration energy overhead (Eq. 3).
 	MigrationEnergyJ float64
 	migrationLog     []Migration
@@ -348,10 +360,15 @@ func (c *Cluster) FitsCur(vm *VM, pm *PM) bool {
 }
 
 // SetPMOn powers the PM on or off. Switching off a PM that still hosts VMs
-// is rejected: consolidation protocols must empty a machine first.
+// or holds open reservations is rejected: consolidation protocols must empty
+// a machine first, and a machine expecting an in-flight VM must stay up to
+// receive it.
 func (c *Cluster) SetPMOn(pm *PM, on bool) error {
 	if !on && len(pm.vms) > 0 {
 		return fmt.Errorf("dc: cannot switch off PM %d: hosts %d VMs", pm.ID, len(pm.vms))
+	}
+	if !on && len(pm.reserved) > 0 {
+		return fmt.Errorf("dc: cannot switch off PM %d: %d open reservations", pm.ID, len(pm.reserved))
 	}
 	pm.on = on
 	return nil
@@ -507,6 +524,21 @@ func (c *Cluster) CheckInvariants() error {
 	for _, vm := range c.VMs {
 		if vm.Host >= 0 && seen[vm.ID] != 1 {
 			return fmt.Errorf("dc: VM %d appears on %d PMs", vm.ID, seen[vm.ID])
+		}
+	}
+	for _, pm := range c.PMs {
+		var sum Vec
+		for _, d := range pm.reserved {
+			sum = sum.Add(d)
+		}
+		for r := 0; r < NumResources; r++ {
+			diff := sum[r] - pm.reservedSum[r]
+			if diff < -1e-6 || diff > 1e-6 {
+				return fmt.Errorf("dc: PM %d reservedSum drifted: cached %v, actual %v", pm.ID, pm.reservedSum, sum)
+			}
+		}
+		if !pm.on && len(pm.reserved) > 0 {
+			return fmt.Errorf("dc: powered-off PM %d holds %d reservations", pm.ID, len(pm.reserved))
 		}
 	}
 	return nil

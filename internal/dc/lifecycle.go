@@ -60,21 +60,30 @@ func (c *Cluster) stepLifecycle(r int) {
 	}
 	for _, vm := range c.VMs {
 		if vm.Host < 0 && !vm.departed && r >= vm.arrive && vm.arrive > 0 {
-			// Restart demand monitoring from the arrival round: the
-			// running average covers the VM's own lifetime only.
+			// The current demand tracks the workload while the VM waits for
+			// a slot, but monitoring restarts only once per arrival: a
+			// placement retry in a later round must not wipe the running
+			// average back to a single sample.
 			sample := c.workload.At(vm.ID, r)
 			vm.Cur = Vec{sample.CPU, sample.Mem}
-			vm.avg = vm.Cur
-			vm.count = 1
-			c.placeArrival(vm)
+			if !vm.seeded {
+				vm.avg = vm.Cur
+				vm.count = 1
+				vm.seeded = true
+			}
+			if !c.placeArrival(vm) {
+				c.FailedPlacements++
+			}
 		}
 	}
 }
 
 // placeArrival places a newly arrived VM: random-first over powered PMs
 // with nominal-allocation headroom, falling back to first-fit, then to
-// stuffing — mirroring PlaceRandom's policy for the initial population.
-func (c *Cluster) placeArrival(vm *VM) {
+// stuffing — mirroring PlaceRandom's policy for the initial population. It
+// reports whether the VM found a host; false means no PM is powered and the
+// arrival retries next round.
+func (c *Cluster) placeArrival(vm *VM) bool {
 	intn := c.placeIntn
 	if intn == nil {
 		intn = func(n int) int { return int(vm.ID) % n }
@@ -93,7 +102,7 @@ func (c *Cluster) placeArrival(vm *VM) {
 		}
 		if allocOf(pm).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
 			c.attach(vm, pm)
-			return
+			return true
 		}
 	}
 	start := intn(len(c.PMs))
@@ -104,7 +113,7 @@ func (c *Cluster) placeArrival(vm *VM) {
 		}
 		if allocOf(pm).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
 			c.attach(vm, pm)
-			return
+			return true
 		}
 	}
 	// Over-subscribed: stuff onto any powered PM.
@@ -112,7 +121,8 @@ func (c *Cluster) placeArrival(vm *VM) {
 		pm := c.PMs[(start+off)%len(c.PMs)]
 		if pm.on {
 			c.attach(vm, pm)
-			return
+			return true
 		}
 	}
+	return false
 }

@@ -141,3 +141,60 @@ func TestLifecycleCachedSumsStayConsistent(t *testing.T) {
 		t.Fatalf("present = %d, want the 5 permanent VMs", got)
 	}
 }
+
+// TestLifecycleRetryKeepsRunningAverage pins the arrival-retry fix: when an
+// arriving VM finds no powered PM, its demand monitoring must be restarted
+// exactly once (at arrival), not wiped again on every retry round, and each
+// failed attempt must be surfaced through FailedPlacements.
+func TestLifecycleRetryKeepsRunningAverage(t *testing.T) {
+	c := lifecycleCluster(t)
+	for id := range c.VMs {
+		if err := c.SetLifecycle(id, 2, -1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := sim.NewRNG(1)
+	c.PlaceRandom(rng.Intn) // no-op: every VM arrives later
+	for _, pm := range c.PMs {
+		if err := c.SetPMOn(pm, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rounds 2..4: arrivals retry against a fully powered-off cluster.
+	for r := 1; r <= 4; r++ {
+		c.AdvanceRound(r)
+	}
+	if c.PresentVMs() != 0 {
+		t.Fatalf("placed %d VMs on a powered-off cluster", c.PresentVMs())
+	}
+	wantFailed := int64(3 * len(c.VMs)) // rounds 2, 3, 4
+	if c.FailedPlacements != wantFailed {
+		t.Fatalf("FailedPlacements = %d, want %d", c.FailedPlacements, wantFailed)
+	}
+	vm := c.VMs[0]
+	if vm.count != 1 {
+		t.Fatalf("monitoring count = %d before placement, want 1", vm.count)
+	}
+	// Power back up: round 5 places everyone, later rounds fold samples into
+	// the running average seeded at arrival.
+	for _, pm := range c.PMs {
+		if err := c.SetPMOn(pm, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.AdvanceRound(5)
+	if c.PresentVMs() != len(c.VMs) {
+		t.Fatalf("placed %d of %d VMs after power-up", c.PresentVMs(), len(c.VMs))
+	}
+	if c.FailedPlacements != wantFailed {
+		t.Fatalf("FailedPlacements moved to %d after successful placement", c.FailedPlacements)
+	}
+	c.AdvanceRound(6)
+	if vm.count != 3 {
+		// Seed at arrival (1) + placement round sample + round 6 sample.
+		t.Fatalf("monitoring count = %d after two placed rounds, want 3", vm.count)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package dc
+
+import "fmt"
+
+// Capacity reservations support in-flight migrations for message-passing
+// consolidation protocols: when a target PM accepts a migration offer it
+// reserves the VM's demand so that concurrent offers from other senders are
+// admitted against the remaining headroom, not against capacity that is
+// already spoken for. The reservation is released when the sender's commit
+// (or abort) arrives, or when the target's hold timer expires because the
+// reply was lost. Reservations are keyed by the offer token, so duplicate
+// messages from retries are idempotent.
+
+// Reserve sets aside demand d on pm under token. Reserving on a powered-off
+// PM or reusing an open token is rejected.
+func (c *Cluster) Reserve(pm *PM, token uint64, d Vec) error {
+	if !pm.on {
+		return fmt.Errorf("dc: cannot reserve on powered-off PM %d", pm.ID)
+	}
+	if _, open := pm.reserved[token]; open {
+		return fmt.Errorf("dc: PM %d already holds reservation %d", pm.ID, token)
+	}
+	if pm.reserved == nil {
+		pm.reserved = make(map[uint64]Vec)
+	}
+	pm.reserved[token] = d
+	pm.reservedSum = pm.reservedSum.Add(d)
+	return nil
+}
+
+// ReleaseReservation drops the reservation held under token and reports
+// whether it was open. Releasing an unknown token is a no-op (false), so
+// commit, abort, and timeout may race without double-releasing.
+func (c *Cluster) ReleaseReservation(pm *PM, token uint64) bool {
+	d, open := pm.reserved[token]
+	if !open {
+		return false
+	}
+	delete(pm.reserved, token)
+	pm.reservedSum = pm.reservedSum.Sub(d)
+	if len(pm.reserved) == 0 {
+		pm.reservedSum = Vec{}
+	}
+	return true
+}
+
+// Reserved returns pm's aggregate reserved demand.
+func (c *Cluster) Reserved(pm *PM) Vec { return pm.reservedSum }
+
+// OpenReservations counts reservations currently held across the cluster.
+// After a run drains, a leak-free protocol leaves this at zero.
+func (c *Cluster) OpenReservations() int {
+	n := 0
+	for _, pm := range c.PMs {
+		n += len(pm.reserved)
+	}
+	return n
+}
+
+// FreeCurReserved returns the remaining absolute capacity under current
+// demand with open reservations subtracted, clamped at zero.
+func (c *Cluster) FreeCurReserved(pm *PM) Vec {
+	free := c.FreeCur(pm).Sub(pm.reservedSum)
+	for r := 0; r < NumResources; r++ {
+		if free[r] < 0 {
+			free[r] = 0
+		}
+	}
+	return free
+}
+
+// FitsCurReserved reports whether absolute demand d fits in pm's free
+// capacity after accounting for open reservations — the admission check a
+// target runs on an incoming migration offer.
+func (c *Cluster) FitsCurReserved(d Vec, pm *PM) bool {
+	return d.FitsWithin(c.FreeCurReserved(pm))
+}

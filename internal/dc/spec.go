@@ -44,6 +44,14 @@ func (v Vec) Sub(w Vec) Vec {
 	return v
 }
 
+// Mul returns element-wise v * w.
+func (v Vec) Mul(w Vec) Vec {
+	for i := range v {
+		v[i] *= w[i]
+	}
+	return v
+}
+
 // Scale returns v * k.
 func (v Vec) Scale(k float64) Vec {
 	for i := range v {

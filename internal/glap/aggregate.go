@@ -21,7 +21,7 @@ type AggProtocol struct {
 	// Select overrides the peer selector (defaults to Cyclon sampling).
 	Select gossip.PeerSelector
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // Name implements sim.Protocol.
@@ -30,9 +30,6 @@ func (a *AggProtocol) Name() string { return AggProtocolName }
 // Setup implements sim.Protocol. The aggregation phase has no state of its
 // own; it mutates the learning component's tables.
 func (a *AggProtocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if a.rng == nil {
-		a.rng = e.RNG().Derive(0xa66a66)
-	}
 	return struct{}{}
 }
 
@@ -42,7 +39,7 @@ func (a *AggProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	if sel == nil {
 		sel = gossip.CyclonSelector
 	}
-	peer := sel(e, n, a.rng)
+	peer := sel(e, n, a.rng.For(e, 0xa66a66))
 	if peer < 0 {
 		return
 	}

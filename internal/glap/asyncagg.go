@@ -26,7 +26,7 @@ type AsyncAggProtocol struct {
 	// Select picks the partner; nil defaults to Cyclon sampling.
 	Select gossip.PeerSelector
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // tableSnapshot carries one endpoint's φ^io cells. Reply distinguishes the
@@ -63,9 +63,6 @@ func (a *AsyncAggProtocol) Name() string { return AsyncAggProtocolName }
 // Setup implements sim.Protocol; the Q store lives with the learning
 // component.
 func (a *AsyncAggProtocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if a.rng == nil {
-		a.rng = e.RNG().Derive(0xa57a66)
-	}
 	return struct{}{}
 }
 
@@ -75,7 +72,7 @@ func (a *AsyncAggProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	if sel == nil {
 		sel = gossip.CyclonSelector
 	}
-	peer := sel(e, n, a.rng)
+	peer := sel(e, n, a.rng.For(e, 0xa57a66))
 	if peer < 0 {
 		return
 	}

@@ -39,7 +39,7 @@ type ConsolidateProtocol struct {
 	// global view.
 	Topo *topology.Tree
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // Name implements sim.Protocol.
@@ -47,9 +47,6 @@ func (p *ConsolidateProtocol) Name() string { return ConsolidateProtocolName }
 
 // Setup implements sim.Protocol.
 func (p *ConsolidateProtocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if p.rng == nil {
-		p.rng = e.RNG().Derive(0xc0501)
-	}
 	return struct{}{}
 }
 
@@ -84,7 +81,7 @@ func (p *ConsolidateProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	if sel == nil {
 		sel = gossip.CyclonSelector
 	}
-	peer := sel(e, n, p.rng)
+	peer := sel(e, n, p.rng.For(e, 0xc0501))
 	if peer < 0 {
 		return
 	}

@@ -98,7 +98,7 @@ type LearnProtocol struct {
 	Cfg Config
 	B   *policy.Binding
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // Name implements sim.Protocol.
@@ -106,9 +106,6 @@ func (l *LearnProtocol) Name() string { return LearnProtocolName }
 
 // Setup creates the node's empty Q store.
 func (l *LearnProtocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if l.rng == nil {
-		l.rng = e.RNG().Derive(0x61ea51)
-	}
 	return &NodeTables{
 		Out: qlearn.New(l.Cfg.Alpha, l.Cfg.Gamma),
 		In:  qlearn.New(l.Cfg.Alpha, l.Cfg.Gamma),
@@ -122,6 +119,7 @@ func TablesOf(e *sim.Engine, n *sim.Node) *NodeTables {
 
 // Round implements one local training round (Algorithm 1 body).
 func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	rng := l.rng.For(e, 0x61ea51)
 	c := l.B.C
 	pm := l.B.PM(n)
 	// Only lightly loaded PMs train, to avoid impacting collocated VMs.
@@ -134,7 +132,7 @@ func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	for _, vm := range l.B.VMsOf(pm) {
 		profiles = append(profiles, profileOf(vm))
 	}
-	if peer := cyclon.SelectPeer(e, n, l.rng); peer >= 0 {
+	if peer := cyclon.SelectPeer(e, n, rng); peer >= 0 {
 		for _, vm := range l.B.VMsOf(c.PMs[peer]) {
 			profiles = append(profiles, profileOf(vm))
 		}
@@ -150,7 +148,7 @@ func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 
 	st := TablesOf(e, n)
 	for it := 0; it < l.Cfg.LearnIterations; it++ {
-		l.trainOnce(st, profiles, pm.Spec.Capacity)
+		l.trainOnce(rng, st, profiles, pm.Spec.Capacity)
 	}
 	st.Trained = true
 }
@@ -179,17 +177,17 @@ func duplicateToCover(ps []profile, cap dc.Vec, target float64) []profile {
 // virtual sender and a virtual recipient, move one random sender VM, and
 // apply updateOUT / updateIN per Equation 1. Pre-action states use average
 // demand; post-action states use current demand (Figure 3).
-func (l *LearnProtocol) trainOnce(st *NodeTables, profiles []profile, cap dc.Vec) {
+func (l *LearnProtocol) trainOnce(rng *sim.RNG, st *NodeTables, profiles []profile, cap dc.Vec) {
 	// Random partition with a freshly drawn split bias per iteration so
 	// the virtual recipient's pre-state sweeps the whole load range — from
 	// nearly empty to beyond capacity — and the high states that matter
 	// for rejection decisions are actually visited during training.
 	var sender, target []int
-	pSender := 0.15 + 0.7*l.rng.Float64()
+	pSender := 0.15 + 0.7*rng.Float64()
 	for attempt := 0; attempt < 8; attempt++ {
 		sender, target = sender[:0], target[:0]
 		for i := range profiles {
-			if l.rng.Bernoulli(pSender) {
+			if rng.Bernoulli(pSender) {
 				sender = append(sender, i)
 			} else {
 				target = append(target, i)
@@ -202,7 +200,7 @@ func (l *LearnProtocol) trainOnce(st *NodeTables, profiles []profile, cap dc.Vec
 	if len(sender) == 0 {
 		return
 	}
-	pick := sender[l.rng.Intn(len(sender))]
+	pick := sender[rng.Intn(len(sender))]
 	vm := profiles[pick]
 	useAvg := !l.Cfg.CurrentDemandOnly
 	actionDemand := vm.avg

@@ -27,7 +27,7 @@ type AsyncAverage struct {
 	// (the async protocol is usually exercised without a Cyclon overlay).
 	Select PeerSelector
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // asyncState is the per-node value cell.
@@ -43,9 +43,6 @@ func (a *AsyncAverage) Name() string { return a.ProtoName }
 
 // Setup implements sim.Protocol.
 func (a *AsyncAverage) Setup(e *sim.Engine, n *sim.Node) any {
-	if a.rng == nil {
-		a.rng = e.RNG().Derive(0xa57c, hashName(a.ProtoName))
-	}
 	return &asyncState{V: a.Init(e, n)}
 }
 
@@ -55,7 +52,7 @@ func (a *AsyncAverage) Round(e *sim.Engine, n *sim.Node, round int) {
 	if sel == nil {
 		sel = UniformSelector
 	}
-	peer := sel(e, n, a.rng)
+	peer := sel(e, n, a.rng.For(e, 0xa57c, hashName(a.ProtoName)))
 	if peer < 0 {
 		return
 	}

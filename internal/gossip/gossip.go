@@ -59,7 +59,7 @@ type Protocol[T any] struct {
 	// Select picks the gossip partner; nil defaults to CyclonSelector.
 	Select PeerSelector
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // Name implements sim.Protocol.
@@ -67,9 +67,6 @@ func (g *Protocol[T]) Name() string { return g.ProtoName }
 
 // Setup implements sim.Protocol.
 func (g *Protocol[T]) Setup(e *sim.Engine, n *sim.Node) any {
-	if g.rng == nil {
-		g.rng = e.RNG().Derive(0x60551b, hashName(g.ProtoName))
-	}
 	return g.Init(e, n)
 }
 
@@ -79,7 +76,7 @@ func (g *Protocol[T]) Round(e *sim.Engine, n *sim.Node, round int) {
 	if sel == nil {
 		sel = CyclonSelector
 	}
-	peer := sel(e, n, g.rng)
+	peer := sel(e, n, g.rng.For(e, 0x60551b, hashName(g.ProtoName)))
 	if peer < 0 {
 		return
 	}

@@ -59,6 +59,12 @@ type Series struct {
 	SLAVO float64
 	SLALM float64
 	SLAV  float64
+
+	// baseMigrations is the cluster's cumulative migration count at the
+	// moment observation began (the last skipped round, or attach time).
+	// MigrationsPerRound deltas start from it so migrations performed before
+	// Collector.From are not folded into the first observed round.
+	baseMigrations int64
 }
 
 // Collector samples a cluster at the end of every engine round.
@@ -73,9 +79,10 @@ type Collector struct {
 // Attach registers a collector on engine e observing cluster c and returns
 // its series.
 func Attach(e *sim.Engine, c *dc.Cluster, fromRound int) *Series {
-	col := &Collector{C: c, Series: &Series{}, From: fromRound}
+	col := &Collector{C: c, Series: &Series{baseMigrations: c.Migrations}, From: fromRound}
 	e.Observe(func(e *sim.Engine, round int) {
 		if round < col.From {
+			col.Series.baseMigrations = c.Migrations
 			return
 		}
 		col.Series.Samples = append(col.Series.Samples, Snapshot{
@@ -125,10 +132,12 @@ func (s *Series) ActivePerRound() []float64 {
 }
 
 // MigrationsPerRound extracts the per-round (non-cumulative) migration
-// counts.
+// counts. The first delta is taken against the cumulative count when
+// observation began, so a collector attached with From > 0 does not fold
+// every pre-window migration into its first sample.
 func (s *Series) MigrationsPerRound() []float64 {
 	out := make([]float64, len(s.Samples))
-	var prev int64
+	prev := s.baseMigrations
 	for i, sm := range s.Samples {
 		out[i] = float64(sm.Migrations - prev)
 		prev = sm.Migrations

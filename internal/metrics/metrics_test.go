@@ -176,3 +176,42 @@ func TestTotalEnergyAndESV(t *testing.T) {
 		t.Fatalf("ESV = %g, want energy*SLAV", got)
 	}
 }
+
+// pingPongMigrator moves VM 0 to the other PM every round (2-PM cluster).
+type pingPongMigrator struct{ c *dc.Cluster }
+
+func (p *pingPongMigrator) Name() string                          { return "test-migrator" }
+func (p *pingPongMigrator) Setup(e *sim.Engine, n *sim.Node) any  { return struct{}{} }
+func (p *pingPongMigrator) Round(e *sim.Engine, n *sim.Node, round int) {
+	if n.ID != 0 {
+		return
+	}
+	vm := p.c.VMs[0]
+	dst := p.c.PMs[1-vm.Host]
+	if err := p.c.Migrate(vm, dst); err != nil {
+		panic(err)
+	}
+}
+
+// TestMigrationsPerRoundWithFrom pins the baseline fix: a collector attached
+// with From > 0 must not fold the migrations of the skipped window into its
+// first per-round delta.
+func TestMigrationsPerRoundWithFrom(t *testing.T) {
+	c := clusterWithDemand(t, 2, 2, 0.3)
+	e := sim.NewEngine(2, 1)
+	if _, err := policy.Bind(e, c); err != nil {
+		t.Fatal(err)
+	}
+	e.Register(&pingPongMigrator{c: c})
+	series := Attach(e, c, 3)
+	e.RunRounds(6)
+	per := series.MigrationsPerRound()
+	if len(per) != 3 {
+		t.Fatalf("%d samples, want 3", len(per))
+	}
+	for i, v := range per {
+		if v != 1 {
+			t.Fatalf("per-round[%d] = %v, want 1 (pre-From migrations leaked into the delta: %v)", i, v, per)
+		}
+	}
+}

@@ -59,7 +59,7 @@ type Protocol struct {
 	// 20).
 	ViewSize int
 
-	rng *sim.RNG
+	rng sim.BoundRNG
 }
 
 // New returns a Newscast protocol with the given view size.
@@ -75,16 +75,14 @@ func (p *Protocol) Name() string { return ProtocolName }
 
 // Setup bootstraps the view with random peers at heartbeat 0.
 func (p *Protocol) Setup(e *sim.Engine, n *sim.Node) any {
-	if p.rng == nil {
-		p.rng = e.RNG().Derive(0x4e05ca)
-	}
+	rng := p.rng.For(e, 0x4e05ca)
 	v := &View{}
 	size := p.ViewSize
 	if size > e.N()-1 {
 		size = e.N() - 1
 	}
 	for v.Len() < size {
-		peer := p.rng.Intn(e.N())
+		peer := rng.Intn(e.N())
 		if peer == n.ID || v.Contains(peer) {
 			continue
 		}
@@ -104,10 +102,11 @@ func ViewOf(e *sim.Engine, n *sim.Node) *View { return viewOf(e, n) }
 // merge both views plus fresh self-descriptors, and truncate both to the c
 // freshest distinct entries.
 func (p *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	rng := p.rng.For(e, 0x4e05ca)
 	v := viewOf(e, n)
 	var q *sim.Node
 	for v.Len() > 0 {
-		i := p.rng.Intn(v.Len())
+		i := rng.Intn(v.Len())
 		cand := e.Node(v.entries[i].Peer)
 		if cand.Up() {
 			q = cand

@@ -1,0 +1,78 @@
+package sim
+
+// ReqTable tracks in-flight request/response exchanges for event-driven
+// protocols built on a Transport: every outstanding request gets a unique id
+// and a deadline scheduled through the engine's event queue. Resolving the
+// id before the deadline cancels the timeout; otherwise the expiry callback
+// fires exactly once. Protocols use it so that lost messages abort cleanly —
+// releasing whatever state (capacity reservations, busy flags) the request
+// pinned — instead of leaking it.
+type ReqTable struct {
+	e       *Engine
+	nextID  uint64
+	pending map[uint64]*Event
+}
+
+// NewReqTable builds a request table on engine e.
+func NewReqTable(e *Engine) *ReqTable {
+	return &ReqTable{e: e, pending: make(map[uint64]*Event)}
+}
+
+// Add registers a request that expires after timeout virtual time units and
+// returns its id. When the deadline passes without Resolve, onExpire(id)
+// runs once and the request is removed.
+func (rt *ReqTable) Add(timeout int64, onExpire func(id uint64)) uint64 {
+	return rt.AddRetry(timeout, 1, nil, onExpire)
+}
+
+// AddRetry registers a request that is issued up to attempts times: send (if
+// non-nil) fires immediately and again on every timeout until the attempts
+// are exhausted, at which point onFail(id) runs once. Resolve cancels the
+// pending deadline and stops further retries. Timeouts fire at priority 2 so
+// that a response and its deadline sharing a timestamp resolve in the
+// response's favour (Transport delivers at priority 1).
+func (rt *ReqTable) AddRetry(timeout int64, attempts int, send func(), onFail func(id uint64)) uint64 {
+	if timeout <= 0 {
+		panic("sim: request timeout must be positive")
+	}
+	if attempts < 1 {
+		attempts = 1
+	}
+	rt.nextID++
+	id := rt.nextID
+	var arm func(left int)
+	arm = func(left int) {
+		if send != nil {
+			send()
+		}
+		rt.pending[id] = rt.e.After(timeout, 2, func() {
+			if left > 1 {
+				arm(left - 1)
+				return
+			}
+			delete(rt.pending, id)
+			if onFail != nil {
+				onFail(id)
+			}
+		})
+	}
+	arm(attempts)
+	return id
+}
+
+// Resolve marks the request answered, cancelling its deadline and any
+// remaining retries. It reports whether the request was still pending;
+// resolving an unknown or already-expired id is a no-op returning false, so
+// duplicate or late responses are safe to feed through.
+func (rt *ReqTable) Resolve(id uint64) bool {
+	ev, ok := rt.pending[id]
+	if !ok {
+		return false
+	}
+	delete(rt.pending, id)
+	rt.e.Cancel(ev)
+	return true
+}
+
+// Open returns the number of unresolved requests.
+func (rt *ReqTable) Open() int { return len(rt.pending) }

@@ -1,0 +1,95 @@
+package sim
+
+import "testing"
+
+func TestReqTableExpires(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	var expired []uint64
+	id := rt.Add(10, func(id uint64) { expired = append(expired, id) })
+	if rt.Open() != 1 {
+		t.Fatalf("Open = %d, want 1", rt.Open())
+	}
+	e.RunEvents(-1)
+	if len(expired) != 1 || expired[0] != id {
+		t.Fatalf("expired = %v, want [%d]", expired, id)
+	}
+	if rt.Open() != 0 {
+		t.Fatalf("Open = %d after expiry", rt.Open())
+	}
+	// Resolving after expiry is a safe no-op.
+	if rt.Resolve(id) {
+		t.Fatal("Resolve succeeded on an expired request")
+	}
+}
+
+func TestReqTableResolveCancelsTimeout(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	fired := false
+	id := rt.Add(10, func(uint64) { fired = true })
+	if !rt.Resolve(id) {
+		t.Fatal("Resolve failed on a pending request")
+	}
+	if rt.Resolve(id) {
+		t.Fatal("second Resolve succeeded")
+	}
+	e.RunEvents(-1)
+	if fired {
+		t.Fatal("timeout fired despite Resolve")
+	}
+	if rt.Open() != 0 {
+		t.Fatalf("Open = %d", rt.Open())
+	}
+}
+
+func TestReqTableRetries(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	sends, failed := 0, 0
+	rt.AddRetry(10, 3, func() { sends++ }, func(uint64) { failed++ })
+	if sends != 1 {
+		t.Fatalf("initial sends = %d, want 1", sends)
+	}
+	e.RunEvents(-1)
+	if sends != 3 {
+		t.Fatalf("sends = %d, want 3 attempts", sends)
+	}
+	if failed != 1 {
+		t.Fatalf("failed = %d, want exactly 1", failed)
+	}
+}
+
+func TestReqTableResolveStopsRetries(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	sends, failed := 0, 0
+	var id uint64
+	id = rt.AddRetry(10, 5, func() {
+		sends++
+		if sends == 2 {
+			// The "response" arrives during the second attempt's window.
+			e.After(3, 1, func() { rt.Resolve(id) })
+		}
+	}, func(uint64) { failed++ })
+	e.RunEvents(-1)
+	if sends != 2 {
+		t.Fatalf("sends = %d, want retries to stop after resolve", sends)
+	}
+	if failed != 0 {
+		t.Fatalf("failed = %d, want 0", failed)
+	}
+}
+
+func TestReqTableDistinctIDs(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 100; i++ {
+		id := rt.Add(1000, nil)
+		if seen[id] {
+			t.Fatalf("duplicate id %d", id)
+		}
+		seen[id] = true
+	}
+}

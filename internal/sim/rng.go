@@ -166,3 +166,26 @@ func (r *RNG) Pareto(shape, scale float64) float64 {
 func (r *RNG) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(mu + sigma*r.NormFloat64())
 }
+
+// BoundRNG is a lazily derived random stream bound to the engine it was
+// derived from. Protocol values embed one instead of caching a bare *RNG so
+// that registering the same protocol value on a second engine re-derives the
+// stream from that engine's root — a protocol that silently kept the first
+// engine's stream would break (seed, replication) determinism in sweeps that
+// reuse protocol values. The zero value is ready for use.
+type BoundRNG struct {
+	e   *Engine
+	rng *RNG
+}
+
+// For returns the stream derived from e's root with the given keys, deriving
+// it on first use and re-deriving whenever e differs from the engine of the
+// previous call. Derivation does not advance the engine's root, so the
+// returned stream is identical no matter when in the run it is first
+// requested.
+func (b *BoundRNG) For(e *Engine, keys ...uint64) *RNG {
+	if b.e != e {
+		b.e, b.rng = e, e.RNG().Derive(keys...)
+	}
+	return b.rng
+}

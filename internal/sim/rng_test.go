@@ -235,3 +235,24 @@ func TestMul64(t *testing.T) {
 		t.Fatalf("mul64 2*3 = (%d, %d)", hi, lo)
 	}
 }
+
+func TestBoundRNGRebindsPerEngine(t *testing.T) {
+	e1 := NewEngine(4, 9)
+	e2 := NewEngine(4, 9)
+	var b BoundRNG
+	// Same engine: cached stream, draws advance.
+	r := b.For(e1, 0xbeef)
+	first := r.Uint64()
+	if b.For(e1, 0xbeef) != r {
+		t.Fatalf("For on the same engine must return the cached stream")
+	}
+	// New engine: fresh derivation, independent of draws on the old stream.
+	got := b.For(e2, 0xbeef).Uint64()
+	if got != first {
+		t.Fatalf("rebound stream diverged: got %d want %d", got, first)
+	}
+	// Back to the first engine: re-derived, so the earlier draw is replayed.
+	if back := b.For(e1, 0xbeef).Uint64(); back != first {
+		t.Fatalf("re-derived stream diverged: got %d want %d", back, first)
+	}
+}

@@ -60,7 +60,10 @@ type Transport struct {
 
 	rng *RNG
 
-	// Sent and Delivered count transport activity for tests and metrics.
+	// Sent counts every message accepted from a live sender; Delivered and
+	// Dropped partition those by outcome (loss injection, or a destination
+	// that is down at delivery time). Once all in-flight messages have been
+	// drained, Sent == Delivered + Dropped.
 	Sent      int64
 	Delivered int64
 	Dropped   int64
@@ -99,11 +102,11 @@ func (t *Transport) Send(from, to int, proto string, payload any) {
 	if !t.e.Node(from).Up() {
 		return
 	}
+	t.Sent++
 	if t.DropProb > 0 && t.rng.Bernoulli(t.DropProb) {
 		t.Dropped++
 		return
 	}
-	t.Sent++
 	m := Message{From: from, To: to, Proto: proto, Payload: payload}
 	t.e.After(t.latency(from, to), 1, func() {
 		dst := t.e.Node(to)

@@ -86,6 +86,43 @@ func TestTransportDropProb(t *testing.T) {
 	}
 }
 
+// TestTransportCounterInvariant pins the accounting contract under the two
+// failure modes at once — probabilistic send-side loss and destinations that
+// die with messages in flight: after a full drain every sent message is
+// either delivered or dropped, exactly once.
+func TestTransportCounterInvariant(t *testing.T) {
+	const nodes = 10
+	e := NewEngine(nodes, 11)
+	tr := NewTransport(e, ConstantLatency(7))
+	tr.DropProb = 0.3
+	h := &recordingHandler{name: "h"}
+	tr.Handle(h)
+	rng := NewRNG(99)
+	for step := 0; step < 400; step++ {
+		from, to := rng.Intn(nodes), rng.Intn(nodes)
+		tr.Send(from, to, "h", step)
+		// Churn: nodes flap while traffic is in flight.
+		if step%17 == 0 {
+			n := e.Node(rng.Intn(nodes))
+			e.SetUp(n, !n.Up())
+		}
+		if step%5 == 0 {
+			e.RunEvents(e.Now() + 3) // partial drain so messages interleave
+		}
+	}
+	e.RunEvents(-1)
+	if tr.Sent == 0 || tr.Dropped == 0 || tr.Delivered == 0 {
+		t.Fatalf("degenerate run: sent=%d delivered=%d dropped=%d", tr.Sent, tr.Delivered, tr.Dropped)
+	}
+	if tr.Sent != tr.Delivered+tr.Dropped {
+		t.Fatalf("invariant violated: Sent=%d != Delivered=%d + Dropped=%d",
+			tr.Sent, tr.Delivered, tr.Dropped)
+	}
+	if int64(len(h.received)) != tr.Delivered {
+		t.Fatalf("handler saw %d messages, Delivered=%d", len(h.received), tr.Delivered)
+	}
+}
+
 func TestTransportUnknownProtoPanics(t *testing.T) {
 	e := NewEngine(2, 1)
 	tr := NewTransport(e, nil)
