@@ -34,7 +34,7 @@ func runNoAggregationAblation(tb testing.TB, agg bool, seed uint64) float64 {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	pre, err := glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, 3), glap.PretrainOptions{})
+	pre, err := glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, seedPretrain), glap.PretrainOptions{})
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -43,7 +43,7 @@ func runNoAggregationAblation(tb testing.TB, agg bool, seed uint64) float64 {
 	if err != nil {
 		tb.Fatal(err)
 	}
-	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
+	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
 	bnd, err := policy.Bind(e, cl)
 	if err != nil {
 		tb.Fatal(err)

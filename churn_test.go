@@ -27,7 +27,7 @@ func buildGLAPRun(t *testing.T, x Experiment) (*sim.Engine, *policy.Binding, *me
 	if err != nil {
 		t.Fatal(err)
 	}
-	pre, err := glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, 3), glap.PretrainOptions{})
+	pre, err := glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, seedPretrain), glap.PretrainOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func buildGLAPRun(t *testing.T, x Experiment) (*sim.Engine, *policy.Binding, *me
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
+	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
 	b, err := policy.Bind(e, cl)
 	if err != nil {
 		t.Fatal(err)
@@ -169,7 +169,7 @@ func TestInvariantsEveryRoundAllPolicies(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				pre, err := glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, 3), glap.PretrainOptions{})
+				pre, err := glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, seedPretrain), glap.PretrainOptions{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -182,7 +182,7 @@ func TestInvariantsEveryRoundAllPolicies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
+			e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
 			b, err := policy.Bind(e, cl)
 			if err != nil {
 				t.Fatal(err)

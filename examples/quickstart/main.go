@@ -1,10 +1,12 @@
-// Command quickstart is the smallest end-to-end GLAP run: a 100-PM cluster
-// with a 2:1 VM:PM ratio driven by a synthetic Google-cluster-style
-// workload for 240 rounds (8 simulated hours), printing the consolidation
-// outcome and SLA metrics.
+// Command quickstart is the smallest end-to-end GLAP run: by default a
+// 100-PM cluster with a 2:1 VM:PM ratio driven by a synthetic
+// Google-cluster-style workload for 240 rounds (8 simulated hours),
+// printing the consolidation outcome and SLA metrics. The cluster shape is
+// flag-tunable so CI can smoke-run a small instance.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,11 +14,17 @@ import (
 )
 
 func main() {
+	pms := flag.Int("pms", 100, "number of physical machines")
+	ratio := flag.Int("ratio", 2, "VM:PM ratio")
+	rounds := flag.Int("rounds", 240, "consolidation rounds (2 simulated minutes each)")
+	seed := flag.Uint64("seed", 42, "master seed")
+	flag.Parse()
+
 	cfg := glapsim.Experiment{
-		PMs:    100,
-		Ratio:  2,
-		Rounds: 240,
-		Seed:   42,
+		PMs:    *pms,
+		Ratio:  *ratio,
+		Rounds: *rounds,
+		Seed:   *seed,
 		Policy: glapsim.PolicyGLAP,
 	}
 	res, err := glapsim.Run(cfg)
@@ -25,7 +33,7 @@ func main() {
 	}
 
 	last, _ := res.Series.Last()
-	fmt.Println("GLAP quickstart — 100 PMs, 200 VMs, 240 rounds")
+	fmt.Printf("GLAP quickstart — %d PMs, %d VMs, %d rounds\n", cfg.PMs, cfg.PMs*cfg.Ratio, cfg.Rounds)
 	fmt.Printf("  pre-training convergence (cosine): %.4f\n", res.Pretrain.FinalSimilarity())
 	fmt.Printf("  active PMs at end:                 %d (BFD oracle: %d)\n", last.ActivePMs, res.BFDBaseline)
 	fmt.Printf("  overloaded PMs at end:             %d\n", last.OverloadedPMs)

@@ -223,7 +223,7 @@ func RunConvergence(pms int, ratios []int, cfg glap.Config, seed uint64, measure
 		if err != nil {
 			return nil, err
 		}
-		pre, err := glap.Pretrain(cfg, cl, deriveSeed(x.Seed, 3), glap.PretrainOptions{
+		pre, err := glap.Pretrain(cfg, cl, deriveSeed(x.Seed, seedPretrain), glap.PretrainOptions{
 			MeasureEvery: measureEvery,
 		})
 		if err != nil {

@@ -15,10 +15,6 @@ package glapsim
 import (
 	"fmt"
 
-	"github.com/glap-sim/glap/internal/baselines/bfd"
-	"github.com/glap-sim/glap/internal/baselines/ecocloud"
-	"github.com/glap-sim/glap/internal/baselines/grmp"
-	"github.com/glap-sim/glap/internal/baselines/pabfd"
 	"github.com/glap-sim/glap/internal/cyclon"
 	"github.com/glap-sim/glap/internal/dc"
 	"github.com/glap-sim/glap/internal/glap"
@@ -31,16 +27,23 @@ import (
 	"github.com/glap-sim/glap/internal/trace"
 )
 
-// Policy selects the consolidation algorithm under test.
+// Policy selects the consolidation algorithm under test. Each policy is a
+// registry entry (see RegisterPolicy); the constants below are the built-in
+// stacks registered in stacks.go.
 type Policy string
 
-// The four policies of the evaluation plus None (no consolidation).
+// The four policies of the evaluation plus None (no consolidation) and the
+// message-passing GLAP transport.
 const (
 	PolicyGLAP     Policy = "glap"
 	PolicyGRMP     Policy = "grmp"
 	PolicyEcoCloud Policy = "ecocloud"
 	PolicyPABFD    Policy = "pabfd"
 	PolicyNone     Policy = "none"
+	// PolicyGLAPAsync runs GLAP's consolidation over real messages with
+	// latency and loss (Experiment.Net) instead of the simulator's
+	// synchronous push-pull shortcut.
+	PolicyGLAPAsync Policy = "glap-async"
 )
 
 // Policies lists the four evaluated policies in the paper's order.
@@ -123,6 +126,10 @@ type Experiment struct {
 	// population. 0 disables churn.
 	VMChurn float64
 
+	// Net configures the message transport for message-passing policies
+	// (PolicyGLAPAsync). Cycle-driven policies ignore it.
+	Net NetConfig
+
 	// RackSize enables the network topology model (the paper's future-work
 	// extension): PMs per rack; 0 disables it. With the model enabled,
 	// cross-rack migrations see oversubscribed bandwidth and the run
@@ -137,6 +144,18 @@ type Experiment struct {
 	TopologyAware bool
 }
 
+// NetConfig models the transport for message-passing stacks.
+type NetConfig struct {
+	// Latency is the one-way message delay in virtual time units
+	// (default 1; the round period is 120).
+	Latency int64
+	// DropProb is the per-message loss probability.
+	DropProb float64
+	// OfferTimeout bounds each request stage of the offer handshake in
+	// virtual time; 0 defaults to 2×RoundPeriod + 4×Latency.
+	OfferTimeout int64
+}
+
 // Validate reports configuration errors.
 func (x *Experiment) Validate() error {
 	if x.PMs <= 1 {
@@ -148,10 +167,14 @@ func (x *Experiment) Validate() error {
 	if x.Rounds <= 0 {
 		return fmt.Errorf("glapsim: Rounds must be positive, got %d", x.Rounds)
 	}
-	switch x.Policy {
-	case PolicyGLAP, PolicyGRMP, PolicyEcoCloud, PolicyPABFD, PolicyNone:
-	default:
+	if _, ok := policySpec(x.Policy); !ok {
 		return fmt.Errorf("glapsim: unknown policy %q", x.Policy)
+	}
+	if x.Net.DropProb < 0 || x.Net.DropProb > 1 {
+		return fmt.Errorf("glapsim: Net.DropProb %g out of [0,1]", x.Net.DropProb)
+	}
+	if x.Net.Latency < 0 || x.Net.OfferTimeout < 0 {
+		return fmt.Errorf("glapsim: negative Net timing")
 	}
 	if x.Workload != nil && x.Workload.NumVMs() != x.PMs*x.Ratio {
 		return fmt.Errorf("glapsim: workload has %d VMs, want %d", x.Workload.NumVMs(), x.PMs*x.Ratio)
@@ -201,12 +224,12 @@ func workloadFor(x Experiment) (*trace.Set, error) {
 	if x.Workload != nil {
 		return x.Workload, nil
 	}
-	gen := trace.DefaultGenConfig(x.PMs*x.Ratio, x.Rounds, deriveSeed(x.Seed, 1))
+	gen := trace.DefaultGenConfig(x.PMs*x.Ratio, x.Rounds, deriveSeed(x.Seed, seedTrace))
 	if x.TraceConfig != nil {
 		gen = *x.TraceConfig
 		gen.VMs = x.PMs * x.Ratio
 		gen.Rounds = x.Rounds
-		gen.Seed = deriveSeed(x.Seed, 1)
+		gen.Seed = deriveSeed(x.Seed, seedTrace)
 	}
 	return trace.Generate(gen)
 }
@@ -233,7 +256,7 @@ func buildCluster(x Experiment, w *trace.Set) (*dc.Cluster, error) {
 		return nil, err
 	}
 	if x.VMChurn > 0 {
-		churnRNG := sim.NewRNG(deriveSeed(x.Seed, 5))
+		churnRNG := sim.NewRNG(deriveSeed(x.Seed, seedChurn))
 		for _, vm := range c.VMs {
 			if !churnRNG.Bernoulli(x.VMChurn) {
 				continue
@@ -248,20 +271,48 @@ func buildCluster(x Experiment, w *trace.Set) (*dc.Cluster, error) {
 			}
 		}
 	}
-	placeRNG := sim.NewRNG(deriveSeed(x.Seed, 2))
+	placeRNG := sim.NewRNG(deriveSeed(x.Seed, seedPlacement))
 	c.PlaceRandom(placeRNG.Intn)
 	return c, nil
 }
 
+// seedPurpose tags the independent random streams derived from one
+// experiment seed. Every source of randomness in a run draws from its own
+// purpose-derived stream, so e.g. enabling churn cannot perturb the trace
+// or the placement. The full derivation map is documented in DESIGN.md
+// ("Seed derivation").
+type seedPurpose uint64
+
+const (
+	// seedTrace drives the synthetic workload generator.
+	seedTrace seedPurpose = 1
+	// seedPlacement drives the initial random VM placement.
+	seedPlacement seedPurpose = 2
+	// seedPretrain seeds the GLAP pre-training engine.
+	seedPretrain seedPurpose = 3
+	// seedEngine seeds the consolidation-run engine (all protocol RNG
+	// streams derive from it).
+	seedEngine seedPurpose = 4
+	// seedChurn drives VM lifecycle churn (arrival/departure rounds).
+	seedChurn seedPurpose = 5
+)
+
 // deriveSeed mixes a purpose tag into an experiment seed.
-func deriveSeed(seed uint64, purpose uint64) uint64 {
-	return sim.NewRNG(seed).Derive(purpose).Uint64()
+func deriveSeed(seed uint64, purpose seedPurpose) uint64 {
+	return sim.NewRNG(seed).Derive(uint64(purpose)).Uint64()
 }
 
 // Run executes one replication of the experiment and returns its result.
+// The policy's registered spec drives the wiring: pre-training and overlay
+// construction happen only when the spec asks for them, and the stack
+// itself is installed by the spec's builder.
 func Run(x Experiment) (*Result, error) {
 	if err := x.Validate(); err != nil {
 		return nil, err
+	}
+	spec, ok := policySpec(x.Policy)
+	if !ok {
+		return nil, fmt.Errorf("glapsim: unknown policy %q", x.Policy)
 	}
 	w, err := workloadFor(x)
 	if err != nil {
@@ -270,7 +321,7 @@ func Run(x Experiment) (*Result, error) {
 
 	var pretrain *glap.PretrainResult
 	shared := x.PretrainedTables
-	if x.Policy == PolicyGLAP && shared == nil {
+	if spec.Pretrain && shared == nil {
 		// Pre-train on a separate, identically placed cluster so the
 		// comparison run replays the same trace window as the baselines
 		// (the paper executes "700 more rounds to calculate Q-values
@@ -286,7 +337,7 @@ func Run(x Experiment) (*Result, error) {
 		if opts.CyclonShuffleLen == 0 {
 			opts.CyclonShuffleLen = x.CyclonShuffleLen
 		}
-		pretrain, err = glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, 3), opts)
+		pretrain, err = glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, seedPretrain), opts)
 		if err != nil {
 			return nil, err
 		}
@@ -300,7 +351,7 @@ func Run(x Experiment) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
+	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
 	b, err := policy.Bind(e, c)
 	if err != nil {
 		return nil, err
@@ -311,43 +362,14 @@ func Run(x Experiment) (*Result, error) {
 		return nil, err
 	}
 
-	switch x.Policy {
-	case PolicyGLAP:
-		sel, err := overlayFor(x, e)
-		if err != nil {
+	ctx := &StackContext{X: x, E: e, B: b, Tables: shared, Tree: tree, Artifacts: &StackArtifacts{}}
+	if spec.Overlay {
+		if ctx.Select, err = overlayFor(x, e); err != nil {
 			return nil, err
 		}
-		cons := &glap.ConsolidateProtocol{
-			B:                 b,
-			Tables:            func(e *sim.Engine, n *sim.Node) *glap.NodeTables { return shared },
-			Select:            sel,
-			CurrentDemandOnly: x.GLAP.CurrentDemandOnly,
-		}
-		if x.TopologyAware && tree != nil {
-			cons.Select = glap.LocalitySelector(tree)
-			cons.Topo = tree
-		}
-		e.Register(cons)
-	case PolicyGRMP:
-		sel, err := overlayFor(x, e)
-		if err != nil {
-			return nil, err
-		}
-		p := grmp.New(b)
-		p.Select = sel
-		e.Register(p)
-	case PolicyEcoCloud:
-		sel, err := overlayFor(x, e)
-		if err != nil {
-			return nil, err
-		}
-		p := ecocloud.New(b)
-		p.Select = sel
-		e.Register(p)
-	case PolicyPABFD:
-		pabfd.Install(e, b)
-	case PolicyNone:
-		// Workload replay only; no consolidation.
+	}
+	if err := spec.Build(ctx); err != nil {
+		return nil, err
 	}
 
 	series := metrics.Attach(e, c, 0)
@@ -356,13 +378,18 @@ func Run(x Experiment) (*Result, error) {
 		network = metrics.AttachNetwork(e, c, tree, topology.DefaultSwitchSpec)
 	}
 	e.RunRounds(x.Rounds)
+	if spec.Drain {
+		// Run the event queue dry so in-flight messages, request timeouts
+		// and reservation holds settle before the final measurements.
+		e.RunEvents(-1)
+	}
 	series.Finalize(c)
 
 	return &Result{
 		Series:      series,
 		Cluster:     c,
 		Pretrain:    pretrain,
-		BFDBaseline: bfd.MinActivePMs(c, 1e-6),
+		BFDBaseline: bfdOracle(c),
 		Network:     network,
 	}, nil
 }

@@ -129,8 +129,11 @@ func (c *Controller) Step(round int) {
 		if !ok {
 			break
 		}
-		for vm, dst := range plan {
-			_ = cl.Migrate(vm, dst)
+		// Execute the plan in the stable VMsOf order: plan is keyed by
+		// pointer, and ranging over it directly would replay the migrations
+		// in an order that varies run to run.
+		for _, vm := range vms {
+			_ = cl.Migrate(vm, plan[vm])
 		}
 		_ = c.B.TryPowerOffIfEmpty(src.ID)
 	}

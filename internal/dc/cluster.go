@@ -456,13 +456,20 @@ func (c *Cluster) AdvanceRound(r int) {
 		vm.requestedCPU += vm.Cur[CPU] * vm.Spec.Capacity[CPU] * c.RoundSeconds
 	}
 	// Rebuild the cached demand sums from scratch: demand changed for every
-	// VM, and a fresh summation avoids accumulating float drift.
+	// VM, and a fresh summation avoids accumulating float drift. Accumulate
+	// in ascending VM-ID order — summing over the pm.vms map would add in a
+	// randomized order, and float addition is order-sensitive, so map order
+	// would make runs only probabilistically reproducible.
 	for _, pm := range c.PMs {
 		pm.curSum, pm.avgSum = Vec{}, Vec{}
-		for _, vm := range pm.vms {
-			pm.curSum = pm.curSum.Add(vm.CurAbs())
-			pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
+	}
+	for _, vm := range c.VMs {
+		if !vm.Present() {
+			continue
 		}
+		pm := c.PMs[vm.Host]
+		pm.curSum = pm.curSum.Add(vm.CurAbs())
+		pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
 	}
 	for _, pm := range c.PMs {
 		if !pm.on {

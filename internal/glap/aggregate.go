@@ -2,7 +2,6 @@ package glap
 
 import (
 	"github.com/glap-sim/glap/internal/gossip"
-	"github.com/glap-sim/glap/internal/qlearn"
 	"github.com/glap-sim/glap/internal/sim"
 )
 
@@ -43,17 +42,7 @@ func (a *AggProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	if peer < 0 {
 		return
 	}
-	p := TablesOf(e, n)
-	q := TablesOf(e, e.Node(peer))
-	// Skip the merge when both stores already agree: Equal exits on the
-	// first differing cell, so this is cheap before convergence and turns
-	// the (frequent) post-convergence exchanges into no-ops.
-	if !qlearn.Equal(p.Out, q.Out) {
-		qlearn.Unify(p.Out, q.Out)
-	}
-	if !qlearn.Equal(p.In, q.In) {
-		qlearn.Unify(p.In, q.In)
-	}
+	MergeTables(TablesOf(e, n), TablesOf(e, e.Node(peer)))
 }
 
 // IOVector adapts a node's φ^io to the map-based convergence

@@ -2,7 +2,6 @@ package glap
 
 import (
 	"github.com/glap-sim/glap/internal/gossip"
-	"github.com/glap-sim/glap/internal/qlearn"
 	"github.com/glap-sim/glap/internal/sim"
 )
 
@@ -29,32 +28,16 @@ type AsyncAggProtocol struct {
 	rng sim.BoundRNG
 }
 
-// tableSnapshot carries one endpoint's φ^io cells. Reply distinguishes the
-// passive endpoint's response (which must not trigger a further reply).
+// tableSnapshot is the wire message: the shared snapshot form of the merge
+// plus a Reply flag distinguishing the passive endpoint's response (which
+// must not trigger a further reply).
 type tableSnapshot struct {
-	Out, In map[qlearn.Key]float64
-	Reply   bool
+	TableSnapshot
+	Reply bool
 }
 
 func snapshotOf(t *NodeTables, reply bool) tableSnapshot {
-	return tableSnapshot{Out: t.Out.Flat(), In: t.In.Flat(), Reply: reply}
-}
-
-// mergeSnapshot folds a received snapshot into dst per Algorithm 2's
-// UPDATE: average cells present on both sides, adopt cells present only in
-// the snapshot.
-func mergeSnapshot(dst *NodeTables, snap tableSnapshot) {
-	apply := func(tbl *qlearn.Table, cells map[qlearn.Key]float64) {
-		for k, v := range cells {
-			if tbl.Has(k.S, k.A) {
-				tbl.Set(k.S, k.A, (tbl.Get(k.S, k.A)+v)/2)
-			} else {
-				tbl.Set(k.S, k.A, v)
-			}
-		}
-	}
-	apply(dst.Out, snap.Out)
-	apply(dst.In, snap.In)
+	return tableSnapshot{TableSnapshot: SnapshotTables(t), Reply: reply}
 }
 
 // Name implements sim.Protocol and sim.Handler.
@@ -92,5 +75,5 @@ func (a *AsyncAggProtocol) Deliver(e *sim.Engine, n *sim.Node, m sim.Message) {
 		// synchronous exchange where both sides average the same pair.
 		a.Tr.Send(n.ID, m.From, AsyncAggProtocolName, snapshotOf(mine, true))
 	}
-	mergeSnapshot(mine, snap)
+	MergeSnapshot(mine, snap.TableSnapshot)
 }

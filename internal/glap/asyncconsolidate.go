@@ -2,6 +2,7 @@ package glap
 
 import (
 	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/glap/decision"
 	"github.com/glap-sim/glap/internal/gossip"
 	"github.com/glap-sim/glap/internal/policy"
 	"github.com/glap-sim/glap/internal/qlearn"
@@ -127,18 +128,19 @@ func (ls loadState) state(currentOnly bool) qlearn.State {
 	return LevelsOf(d.Div(ls.Cap)).State()
 }
 
-// Sequence modes: what the sender is trying to achieve.
-const (
-	acModeShed  = iota // exit the overloaded state
-	acModeEmpty        // empty the machine and power off
-)
+// view summarises the snapshot for the shared direction rule; at zero
+// latency it matches the live pmView of the same PM exactly (pinned by the
+// differential test).
+func (ls loadState) view(id int) decision.View {
+	return decision.View{ID: id, Overloaded: ls.overloaded(), Util: ls.util()}
+}
 
 // acNode is the per-node protocol state.
 type acNode struct {
 	// Sender-side sequence state.
 	busy         bool
 	epoch        uint64
-	mode         int
+	mode         decision.Mode
 	target       int
 	remote       loadState
 	offerVM      int
@@ -205,17 +207,11 @@ func (p *AsyncConsolidateProtocol) tables(e *sim.Engine, n *sim.Node) *NodeTable
 }
 
 func (p *AsyncConsolidateProtocol) pmState(c *dc.Cluster, pm *dc.PM) qlearn.State {
-	if p.CurrentDemandOnly {
-		return PMStateCur(c, pm)
-	}
-	return PMStateAvg(c, pm)
+	return DecisionPMState(c, pm, p.CurrentDemandOnly)
 }
 
 func (p *AsyncConsolidateProtocol) vmAction(vm *dc.VM) qlearn.Action {
-	if p.CurrentDemandOnly {
-		return LevelsOf(vm.CurDemand()).Action()
-	}
-	return VMAction(vm)
+	return DecisionVMAction(vm, p.CurrentDemandOnly)
 }
 
 // reqs returns the engine-bound request table, creating it on first use (or
@@ -287,22 +283,10 @@ func (p *AsyncConsolidateProtocol) Deliver(e *sim.Engine, n *sim.Node, m sim.Mes
 	}
 }
 
-// shouldSend runs Algorithm 3's direction rule for the local endpoint
-// against the remote snapshot; ok reports whether this endpoint acts as
-// sender, and mode says why.
-func (p *AsyncConsolidateProtocol) shouldSend(pm *dc.PM, remote loadState, remoteID int) (mode int, ok bool) {
-	c := p.B.C
-	if c.Overloaded(pm) {
-		return acModeShed, true
-	}
-	if remote.overloaded() {
-		return 0, false
-	}
-	su, ou := c.CurUtil(pm).Avg(), remote.util()
-	if su < ou || (su == ou && pm.ID < remoteID) {
-		return acModeEmpty, true
-	}
-	return 0, false
+// shouldSend runs the shared direction rule for the local endpoint against
+// the remote snapshot; ModeNone means this endpoint does not act as sender.
+func (p *AsyncConsolidateProtocol) shouldSend(pm *dc.PM, remote loadState, remoteID int) decision.Mode {
+	return decision.Direction(pmView(p.B.C, pm), remote.view(remoteID))
 }
 
 // onLoad handles the state exchange at both endpoints.
@@ -321,7 +305,7 @@ func (p *AsyncConsolidateProtocol) onLoad(e *sim.Engine, n *sim.Node, from int, 
 		if st.busy {
 			return
 		}
-		if mode, ok := p.shouldSend(pm, msg.From, from); ok {
+		if mode := p.shouldSend(pm, msg.From, from); mode != decision.ModeNone {
 			st.busy = true
 			st.epoch++
 			st.mode = mode
@@ -337,8 +321,8 @@ func (p *AsyncConsolidateProtocol) onLoad(e *sim.Engine, n *sim.Node, from int, 
 		return
 	}
 	p.reqs(e).Resolve(st.exchReq)
-	mode, ok := p.shouldSend(pm, msg.From, from)
-	if !ok {
+	mode := p.shouldSend(pm, msg.From, from)
+	if mode == decision.ModeNone {
 		st.busy = false
 		return
 	}
@@ -355,56 +339,38 @@ func (p *AsyncConsolidateProtocol) offerNext(e *sim.Engine, n *sim.Node, st *acN
 	finish := func() {
 		st.busy = false
 		st.pendingToken = 0
-		if st.mode == acModeEmpty && pm.NumVMs() == 0 {
+		if st.mode == decision.ModeEmpty && pm.NumVMs() == 0 {
 			_ = p.B.TryPowerOffIfEmpty(pm.ID)
 		}
 	}
-	if st.mode == acModeShed && !c.Overloaded(pm) {
+	if st.mode == decision.ModeShed && !c.Overloaded(pm) {
 		finish()
 		return
 	}
-	if st.mode == acModeEmpty && pm.NumVMs() == 0 {
-		finish()
-		return
-	}
-	vms := p.B.VMsOf(pm)
-	if len(vms) == 0 {
+	if st.mode == decision.ModeEmpty && pm.NumVMs() == 0 {
 		finish()
 		return
 	}
 	// π_out over the sender's fresh state, π_in and capacity pre-vetted on
-	// the remote estimate — the same decision migrateOne makes, except the
-	// target will re-vet with its fresh state before reserving.
-	byAction := make(map[qlearn.Action][]*dc.VM)
-	actions := make([]qlearn.Action, 0, 4)
-	for _, vm := range vms {
-		a := p.vmAction(vm)
-		if _, seen := byAction[a]; !seen {
-			actions = append(actions, a)
-		}
-		byAction[a] = append(byAction[a], vm)
-	}
+	// the remote estimate — the same shared core migrateOne drives, except
+	// the target will re-vet with its fresh state before reserving.
 	tbl := p.tables(e, n)
-	a, _, ok := tbl.Out.Best(p.pmState(c, pm), actions)
+	off, ok := decision.SelectOffer(tbl.Out, p.pmState(c, pm), p.B.VMsOf(pm), p.vmAction)
 	if !ok {
 		finish()
 		return
 	}
-	vm := policy.CheapestToMigrate(byAction[a])
-	if tbl.In.Get(st.remote.state(p.CurrentDemandOnly), a) < 0 {
+	if !decision.VetOffer(tbl.In, st.remote.state(p.CurrentDemandOnly), off.Action, off.VM.CurAbs(), st.remote.free()) {
 		finish()
 		return
 	}
-	if !vm.CurAbs().FitsWithin(st.remote.free()) {
-		finish()
-		return
-	}
+	vm := off.VM
 	p.nextToken++
 	token := p.nextToken
 	st.offerVM = vm.ID
 	st.pendingToken = token
 	p.Offers++
-	offer := acOffer{Token: token, VM: vm.ID, Action: a, Demand: vm.CurAbs(), AvgDemand: vm.AvgAbs()}
+	offer := acOffer{Token: token, VM: vm.ID, Action: off.Action, Demand: vm.CurAbs(), AvgDemand: vm.AvgAbs()}
 	target := st.target
 	st.offerReq = p.reqs(e).AddRetry(p.timeout(e), p.attempts(), func() {
 		p.Tr.Send(n.ID, target, AsyncConsolidateProtocolName, offer)
@@ -447,7 +413,7 @@ func (p *AsyncConsolidateProtocol) onOffer(e *sim.Engine, n *sim.Node, from int,
 	c := p.B.C
 	// Fresh re-vet: π_in on the target's own state, and admission against
 	// capacity net of open reservations.
-	if p.tables(e, n).In.Get(p.pmState(c, pm), msg.Action) < 0 || !c.FitsCurReserved(msg.Demand, pm) {
+	if !decision.VetOffer(p.tables(e, n).In, p.pmState(c, pm), msg.Action, msg.Demand, c.FreeCurReserved(pm)) {
 		p.Rejects++
 		reply(false)
 		return

@@ -2,6 +2,7 @@ package glap
 
 import (
 	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/glap/decision"
 	"github.com/glap-sim/glap/internal/gossip"
 	"github.com/glap-sim/glap/internal/policy"
 	"github.com/glap-sim/glap/internal/qlearn"
@@ -50,21 +51,14 @@ func (p *ConsolidateProtocol) Setup(e *sim.Engine, n *sim.Node) any {
 	return struct{}{}
 }
 
-// pmState returns the decision state for a PM: average-demand based unless
-// the current-only ablation is active.
+// pmState returns the decision state for a PM under the active demand mode.
 func (p *ConsolidateProtocol) pmState(c *dc.Cluster, pm *dc.PM) qlearn.State {
-	if p.CurrentDemandOnly {
-		return PMStateCur(c, pm)
-	}
-	return PMStateAvg(c, pm)
+	return DecisionPMState(c, pm, p.CurrentDemandOnly)
 }
 
 // vmAction returns the calibrated action for a VM under the active mode.
 func (p *ConsolidateProtocol) vmAction(vm *dc.VM) qlearn.Action {
-	if p.CurrentDemandOnly {
-		return LevelsOf(vm.CurDemand()).Action()
-	}
-	return VMAction(vm)
+	return DecisionVMAction(vm, p.CurrentDemandOnly)
 }
 
 func (p *ConsolidateProtocol) tables(e *sim.Engine, n *sim.Node) *NodeTables {
@@ -91,58 +85,56 @@ func (p *ConsolidateProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	p.updateState(e, e.Node(peer), pmQ, pmP)
 }
 
-// updateState runs Algorithm 3's UPDATESTATE for endpoint s against peer o.
+// updateState runs Algorithm 3's UPDATESTATE for endpoint s against peer o:
+// the shared direction rule decides the sender role, then the matching
+// migration loop drives the shared π_out/π_in core via migrateOne.
 func (p *ConsolidateProtocol) updateState(e *sim.Engine, n *sim.Node, s, o *dc.PM) {
 	c := p.B.C
 	if !s.On() || !o.On() {
 		return
 	}
 	st := p.tables(e, n)
-	if c.Overloaded(s) {
+	mode := decision.Direction(pmView(c, s), pmView(c, o))
+	// Under the topology extension, rack occupancy replaces the utilisation
+	// rule across racks: the endpoint in the sparser rack is the sender, so
+	// sparsely occupied racks drain completely and their switches sleep.
+	if p.Topo != nil && mode != decision.ModeShed && !c.Overloaded(o) && !p.Topo.SameRack(s.ID, o.ID) {
+		if p.topoSends(s, o) {
+			mode = decision.ModeEmpty
+		} else {
+			mode = decision.ModeNone
+		}
+	}
+	switch mode {
+	case decision.ModeShed:
 		// Shed VMs while overloaded (lines 12-13).
 		for c.Overloaded(s) {
 			if !p.migrateOne(st, s, o) {
 				return
 			}
 		}
-		return
-	}
-	if c.Overloaded(o) {
-		return
-	}
-	// The endpoint with the lower current utilisation empties itself
-	// (lines 14-16); ties break toward the lower ID so exactly one side
-	// acts. Under the topology extension, rack occupancy dominates the
-	// direction choice: the endpoint in the sparser rack is the sender.
-	if p.Topo != nil && !p.Topo.SameRack(s.ID, o.ID) {
-		sr, or := p.rackActive(s.ID), p.rackActive(o.ID)
-		switch {
-		case sr < or:
-			// s's rack is sparser: s is the sender; fall through.
-		case sr > or:
-			return
-		case p.Topo.RackOf(s.ID) < p.Topo.RackOf(o.ID):
-			// Equal occupancy: drain the higher-numbered rack toward the
-			// lower one. The fixed gradient gives otherwise-symmetric racks
-			// a consistent draining order using only local information.
-			return
+	case decision.ModeEmpty:
+		// The lower-utilisation endpoint empties itself (lines 14-16).
+		for s.NumVMs() > 0 {
+			if !p.migrateOne(st, s, o) {
+				return
+			}
 		}
-	} else if !lowerUtil(c, s, o) {
-		return
+		_ = p.B.TryPowerOffIfEmpty(s.ID)
 	}
-	for s.NumVMs() > 0 {
-		if !p.migrateOne(st, s, o) {
-			return
-		}
-	}
-	_ = p.B.TryPowerOffIfEmpty(s.ID)
 }
 
-// lowerUtil reports whether s has strictly lower current utilisation than o
-// (ties break toward the lower ID, so exactly one endpoint acts per pair).
-func lowerUtil(c *dc.Cluster, s, o *dc.PM) bool {
-	su, ou := c.CurUtil(s).Avg(), c.CurUtil(o).Avg()
-	return su < ou || (su == ou && s.ID < o.ID)
+// topoSends applies the cross-rack direction override: the endpoint in the
+// rack with fewer active machines sends; equal occupancy drains the
+// higher-numbered rack toward the lower one — a fixed gradient that gives
+// otherwise-symmetric racks a consistent draining order using only local
+// information.
+func (p *ConsolidateProtocol) topoSends(s, o *dc.PM) bool {
+	sr, or := p.rackActive(s.ID), p.rackActive(o.ID)
+	if sr != or {
+		return sr < or
+	}
+	return p.Topo.RackOf(s.ID) > p.Topo.RackOf(o.ID)
 }
 
 // rackActive counts the powered PMs in pm's rack.
@@ -163,38 +155,18 @@ func (p *ConsolidateProtocol) rackActive(pm int) int {
 }
 
 // migrateOne performs one MIGRATE() step (Algorithm 3, lines 18-24) from s
-// to o and reports whether a VM moved. It picks the action with the highest
-// φ^out value among the sender's available VMs, breaks ties toward the VM
-// with the cheapest migration, and aborts when π_in rejects the action for
-// the target's state or the target lacks capacity for the VM's current
-// demand.
+// to o and reports whether a VM moved: the shared π_out core picks the
+// offer, the shared π_in core vets it — on the sender, on behalf of the
+// target, against the target's live state and free capacity — and the
+// migration executes on acceptance.
 func (p *ConsolidateProtocol) migrateOne(st *NodeTables, s, o *dc.PM) bool {
 	c := p.B.C
-	vms := p.B.VMsOf(s)
-	if len(vms) == 0 {
-		return false
-	}
-	// Group available VMs by calibrated action.
-	byAction := make(map[qlearn.Action][]*dc.VM)
-	actions := make([]qlearn.Action, 0, 4)
-	for _, vm := range vms {
-		a := p.vmAction(vm)
-		if _, seen := byAction[a]; !seen {
-			actions = append(actions, a)
-		}
-		byAction[a] = append(byAction[a], vm)
-	}
-	a, _, ok := st.Out.Best(p.pmState(c, s), actions)
+	off, ok := decision.SelectOffer(st.Out, p.pmState(c, s), p.B.VMsOf(s), p.vmAction)
 	if !ok {
 		return false
 	}
-	vm := policy.CheapestToMigrate(byAction[a])
-	// π_in: the sender decides for the target using the shared φ^in.
-	if st.In.Get(p.pmState(c, o), a) < 0 {
+	if !decision.VetOffer(st.In, p.pmState(c, o), off.Action, off.VM.CurAbs(), c.FreeCur(o)) {
 		return false
 	}
-	if !c.FitsCur(vm, o) {
-		return false
-	}
-	return c.Migrate(vm, o) == nil
+	return c.Migrate(off.VM, o) == nil
 }

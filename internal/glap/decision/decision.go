@@ -1,0 +1,125 @@
+// Package decision is the transport-agnostic core of GLAP's Algorithm 3:
+// the direction rule that picks which endpoint of a push-pull exchange acts
+// as sender, the π_out = argmax Q_out VM selection, and the π_in accept
+// test. The functions are pure — they consume plain endpoint views and
+// Q-tables and touch neither the simulation engine nor any transport — so
+// the cycle-driven protocol (glap.ConsolidateProtocol), the message-passing
+// protocol (glap.AsyncConsolidateProtocol), and any future transport drive
+// bit-identical decisions from one implementation. The differential tests
+// in internal/glap pin exactly that.
+//
+// The split mirrors how distributed-RL systems are usually factored:
+// gossip-TD methods are defined as "local update rule + gossip
+// communication", with the decision/aggregation operator swappable
+// independently of the transport that carries it.
+package decision
+
+import (
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/qlearn"
+)
+
+// Mode is the sender role Algorithm 3's direction rule assigns to an
+// endpoint for one exchange.
+type Mode int
+
+const (
+	// ModeNone: this endpoint does not send in the exchange.
+	ModeNone Mode = iota
+	// ModeShed: the endpoint is overloaded and sheds VMs until it is not
+	// (Algorithm 3, lines 12-13).
+	ModeShed
+	// ModeEmpty: the endpoint has the lower utilisation and empties itself
+	// toward power-off (lines 14-16).
+	ModeEmpty
+)
+
+// String names the mode for diagnostics.
+func (m Mode) String() string {
+	switch m {
+	case ModeShed:
+		return "shed"
+	case ModeEmpty:
+		return "empty"
+	default:
+		return "none"
+	}
+}
+
+// View is the decision-relevant summary of one endpoint of an exchange.
+// The synchronous protocol builds it from the live cluster; the
+// asynchronous protocol builds the remote side from the load snapshot that
+// travelled over the wire — at zero latency and loss the two constructions
+// coincide exactly.
+type View struct {
+	// ID is the PM/node identifier (the direction tie-breaker).
+	ID int
+	// Overloaded reports whether any resource is at or above capacity
+	// under current demand.
+	Overloaded bool
+	// Util is the mean current utilisation across resources.
+	Util float64
+}
+
+// Direction runs Algorithm 3's direction rule for endpoint self against
+// peer: an overloaded endpoint sheds regardless of the peer's state;
+// otherwise, unless the peer is overloaded, the endpoint with strictly
+// lower mean current utilisation empties itself, with ties breaking toward
+// the lower ID so exactly one side of any exchange acts.
+func Direction(self, peer View) Mode {
+	if self.Overloaded {
+		return ModeShed
+	}
+	if peer.Overloaded {
+		return ModeNone
+	}
+	if self.Util < peer.Util || (self.Util == peer.Util && self.ID < peer.ID) {
+		return ModeEmpty
+	}
+	return ModeNone
+}
+
+// Offer is π_out's migration choice: the VM to move and its calibrated
+// action.
+type Offer struct {
+	VM     *dc.VM
+	Action qlearn.Action
+}
+
+// SelectOffer runs π_out (Algorithm 3, lines 18-21): it buckets the
+// sender's available VMs by calibrated action, picks the action with the
+// highest φ^out value in the sender's state, and within that bucket picks
+// the cheapest VM to migrate (smallest current memory footprint). Buckets
+// keep first-seen order, so with VMs in ascending-ID order the argmax
+// tie-break is deterministic. ok is false when the sender holds no VMs or
+// no candidate action has a known Q-value.
+func SelectOffer(out *qlearn.Table, sender qlearn.State, vms []*dc.VM, action func(*dc.VM) qlearn.Action) (Offer, bool) {
+	if len(vms) == 0 {
+		return Offer{}, false
+	}
+	byAction := make(map[qlearn.Action][]*dc.VM)
+	actions := make([]qlearn.Action, 0, 4)
+	for _, vm := range vms {
+		a := action(vm)
+		if _, seen := byAction[a]; !seen {
+			actions = append(actions, a)
+		}
+		byAction[a] = append(byAction[a], vm)
+	}
+	a, _, ok := out.Best(sender, actions)
+	if !ok {
+		return Offer{}, false
+	}
+	return Offer{VM: policy.CheapestToMigrate(byAction[a]), Action: a}, true
+}
+
+// VetOffer runs the π_in accept test plus the capacity check (Algorithm 3,
+// lines 22-23): the offered action must have non-negative φ^in value in the
+// target's state, and the offered demand must fit within the target's free
+// capacity. The caller chooses which free vector to vet against — the live
+// one (synchronous), a remote estimate (sender-side pre-vet), or capacity
+// net of open reservations (target-side re-vet).
+func VetOffer(in *qlearn.Table, target qlearn.State, a qlearn.Action, demand, free dc.Vec) bool {
+	return in.Get(target, a) >= 0 && demand.FitsWithin(free)
+}

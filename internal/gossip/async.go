@@ -65,7 +65,7 @@ func (a *AsyncAverage) Deliver(e *sim.Engine, n *sim.Node, m sim.Message) {
 	st := e.State(a.ProtoName, n).(*asyncState)
 	switch p := m.Payload.(type) {
 	case pushMsg:
-		delta := (p.V - st.V) / 2
+		delta := PushDelta(st.V, p.V)
 		st.V += delta
 		a.Tr.Send(n.ID, m.From, a.ProtoName, replyMsg{Delta: delta})
 	case replyMsg:

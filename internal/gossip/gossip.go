@@ -115,10 +115,7 @@ func NewAverage(name string, init func(e *sim.Engine, n *sim.Node) float64, sel 
 		Init: func(e *sim.Engine, n *sim.Node) *Scalar {
 			return &Scalar{V: init(e, n)}
 		},
-		Merge: func(a, b *Scalar) {
-			avg := (a.V + b.V) / 2
-			a.V, b.V = avg, avg
-		},
+		Merge:  MergeScalar,
 		Select: sel,
 	}
 }

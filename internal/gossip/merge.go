@@ -1,0 +1,27 @@
+package gossip
+
+// This file is the single home of the scalar pairwise-averaging arithmetic —
+// the merge operator of the paper's Algorithm 2 in its two transport forms.
+// The cycle-driven Protocol (NewAverage) applies MergeScalar to both
+// endpoint states at once; the message-passing AsyncAverage moves the same
+// mass via PushDelta/reply. The forms are intentionally NOT reduced to one
+// expression: (a+b)/2 and b+(a-b)/2 differ in floating point, and each
+// transport's golden behaviour is pinned to its own form. What the shared
+// file guarantees — and the equivalence test enforces — is that both
+// conserve total mass and contract toward the same mean.
+
+// MergeScalar is the synchronous pairwise merge: both endpoints adopt the
+// midpoint of their values.
+func MergeScalar(a, b *Scalar) {
+	avg := (a.V + b.V) / 2
+	a.V, b.V = avg, avg
+}
+
+// PushDelta is the asynchronous form of the same merge: given the local
+// value and a pushed remote value, it returns the mass delta the receiver
+// adds to itself and echoes back for the sender to subtract. Each completed
+// push/reply pair moves delta without creating or destroying mass, which
+// keeps the network-wide sum invariant under arbitrary interleaving.
+func PushDelta(local, pushed float64) float64 {
+	return (pushed - local) / 2
+}

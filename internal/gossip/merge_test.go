@@ -1,0 +1,59 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// TestMergeScalarConservesMass pins the synchronous merge form: both
+// endpoints adopt the midpoint and the pair's total mass is preserved
+// exactly for values without rounding, and to within float tolerance in
+// general.
+func TestMergeScalarConservesMass(t *testing.T) {
+	rng := sim.NewRNG(11)
+	for i := 0; i < 1000; i++ {
+		a := &Scalar{V: rng.Float64()*200 - 100}
+		b := &Scalar{V: rng.Float64()*200 - 100}
+		sum := a.V + b.V
+		MergeScalar(a, b)
+		if a.V != b.V {
+			t.Fatalf("endpoints disagree after merge: %v vs %v", a.V, b.V)
+		}
+		if math.Abs((a.V+b.V)-sum) > 1e-12*math.Max(1, math.Abs(sum)) {
+			t.Fatalf("mass not conserved: %v -> %v", sum, a.V+b.V)
+		}
+	}
+}
+
+// TestPushDeltaMatchesMergeScalar pins that one completed push/reply pair
+// of the asynchronous form moves both endpoints to the same midpoint the
+// synchronous merge computes, up to the float difference between the two
+// evaluation orders ((a+b)/2 vs b+(a-b)/2 — at most one ulp apart).
+func TestPushDeltaMatchesMergeScalar(t *testing.T) {
+	rng := sim.NewRNG(13)
+	for i := 0; i < 1000; i++ {
+		av := rng.Float64()*200 - 100
+		bv := rng.Float64()*200 - 100
+
+		// Async: a pushes its value, b applies the delta and echoes it, a
+		// subtracts.
+		delta := PushDelta(bv, av)
+		asyncB := bv + delta
+		asyncA := av - delta
+
+		sa, sb := &Scalar{V: av}, &Scalar{V: bv}
+		MergeScalar(sa, sb)
+
+		if math.Abs(asyncA-sa.V) > 1e-12 || math.Abs(asyncB-sb.V) > 1e-12 {
+			t.Fatalf("async pair (%v,%v) != sync midpoint %v for inputs (%v,%v)",
+				asyncA, asyncB, sa.V, av, bv)
+		}
+		// Mass conservation is exact in the async form: b gains exactly what
+		// a loses.
+		if got, want := asyncA+asyncB, av+bv; math.Abs(got-want) > 1e-12*math.Max(1, math.Abs(want)) {
+			t.Fatalf("async mass not conserved: %v -> %v", want, got)
+		}
+	}
+}

@@ -180,8 +180,8 @@ func TestTotalEnergyAndESV(t *testing.T) {
 // pingPongMigrator moves VM 0 to the other PM every round (2-PM cluster).
 type pingPongMigrator struct{ c *dc.Cluster }
 
-func (p *pingPongMigrator) Name() string                          { return "test-migrator" }
-func (p *pingPongMigrator) Setup(e *sim.Engine, n *sim.Node) any  { return struct{}{} }
+func (p *pingPongMigrator) Name() string                         { return "test-migrator" }
+func (p *pingPongMigrator) Setup(e *sim.Engine, n *sim.Node) any { return struct{}{} }
 func (p *pingPongMigrator) Round(e *sim.Engine, n *sim.Node, round int) {
 	if n.ID != 0 {
 		return

@@ -3,7 +3,7 @@ package glapsim
 import (
 	"fmt"
 
-	"github.com/glap-sim/glap/internal/cyclon"
+	"github.com/glap-sim/glap/internal/dc"
 	"github.com/glap-sim/glap/internal/glap"
 	"github.com/glap-sim/glap/internal/metrics"
 	"github.com/glap-sim/glap/internal/policy"
@@ -178,6 +178,10 @@ func runRobustRep(cfg RobustConfig, rep int) (out robustRep) {
 	x := Experiment{
 		PMs: cfg.PMs, Ratio: cfg.Ratio, Rounds: cfg.Rounds,
 		Seed: sim.ReplicationSeed(cfg.Seed, rep), Policy: PolicyGLAP, GLAP: cfg.GLAP,
+		// The registry builders default these through overlayFor; the
+		// historical grid wired cyclon.New(20, 8) explicitly, so pin the
+		// same overlay parameters for seed-for-seed identical cells.
+		CyclonViewSize: 20, CyclonShuffleLen: 8,
 	}
 	if err := x.Validate(); err != nil {
 		out.err = err
@@ -193,7 +197,7 @@ func runRobustRep(cfg RobustConfig, rep int) (out robustRep) {
 		out.err = err
 		return
 	}
-	pretrain, err := glap.Pretrain(x.GLAP, pre, deriveSeed(x.Seed, 3), x.Pretrain)
+	pretrain, err := glap.Pretrain(x.GLAP, pre, deriveSeed(x.Seed, seedPretrain), x.Pretrain)
 	if err != nil {
 		out.err = err
 		return
@@ -203,23 +207,41 @@ func runRobustRep(cfg RobustConfig, rep int) (out robustRep) {
 		out.err = err
 		return
 	}
-	tables := func(e *sim.Engine, n *sim.Node) *glap.NodeTables { return shared }
+	// stack prepares one paired run — identically placed cluster, same
+	// engine seed — and installs the policy's registered stack on it, so
+	// the sync reference and every grid cell differ only in the transport.
+	stack := func(x Experiment) (*dc.Cluster, *sim.Engine, *StackContext, error) {
+		c, err := buildCluster(x, w)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
+		b, err := policy.Bind(e, c)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		sel, err := overlayFor(x, e)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		ctx := &StackContext{X: x, E: e, B: b, Select: sel, Tables: shared, Artifacts: &StackArtifacts{}}
+		spec, ok := policySpec(x.Policy)
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("glapsim: unknown policy %q", x.Policy)
+		}
+		if err := spec.Build(ctx); err != nil {
+			return nil, nil, nil, err
+		}
+		return c, e, ctx, nil
+	}
 
 	// Synchronous reference.
 	{
-		c, err := buildCluster(x, w)
+		c, e, _, err := stack(x)
 		if err != nil {
 			out.err = err
 			return
 		}
-		e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
-		b, err := policy.Bind(e, c)
-		if err != nil {
-			out.err = err
-			return
-		}
-		e.Register(cyclon.New(20, 8))
-		e.Register(&glap.ConsolidateProtocol{B: b, Tables: tables, CurrentDemandOnly: x.GLAP.CurrentDemandOnly})
 		series := metrics.Attach(e, c, 0)
 		e.RunRounds(x.Rounds)
 		series.Finalize(c)
@@ -232,28 +254,15 @@ func runRobustRep(cfg RobustConfig, rep int) (out robustRep) {
 	// shuffling match the reference and only the transport differs.
 	for _, drop := range cfg.DropProbs {
 		for _, lat := range cfg.Latencies {
-			c, err := buildCluster(x, w)
+			xc := x
+			xc.Policy = PolicyGLAPAsync
+			xc.Net = NetConfig{Latency: lat, DropProb: drop}
+			c, e, ctx, err := stack(xc)
 			if err != nil {
 				out.err = err
 				return
 			}
-			e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, 4))
-			b, err := policy.Bind(e, c)
-			if err != nil {
-				out.err = err
-				return
-			}
-			e.Register(cyclon.New(20, 8))
-			tr := sim.NewTransport(e, sim.ConstantLatency(lat))
-			tr.DropProb = drop
-			cons := &glap.AsyncConsolidateProtocol{
-				B: b, Tr: tr, Tables: tables,
-				CurrentDemandOnly: x.GLAP.CurrentDemandOnly,
-				// Cover a full offer round-trip even on the slowest links.
-				OfferTimeout: 2*e.RoundPeriod + 4*lat,
-			}
-			tr.Handle(cons)
-			e.Register(cons)
+			cons, tr := ctx.Artifacts.AsyncConsolidate, ctx.Artifacts.Transport
 			series := metrics.Attach(e, c, 0)
 			e.RunRounds(x.Rounds)
 			e.RunEvents(-1)
