@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), or robust (async consolidation under loss × latency)")
+	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), robust (async consolidation under loss × latency), or scale (per-stage wall time across cluster sizes and worker counts)")
 	sizes := flag.String("sizes", "100", "comma-separated cluster sizes")
 	ratios := flag.String("ratios", "2,3,4", "comma-separated VM:PM ratios")
 	rounds := flag.Int("rounds", 240, "consolidation rounds (2 simulated minutes each)")
@@ -33,7 +35,37 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-figure CSV files into this directory")
 	drops := flag.String("drops", "0,0.1,0.2", "comma-separated message-loss probabilities for -exp robust")
 	lats := flag.String("lats", "1,30,90", "comma-separated one-way message latencies for -exp robust")
+	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the -exp scale report")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	grid := glapsim.Grid{
 		Sizes:   parseInts(*sizes),
@@ -52,6 +84,13 @@ func main() {
 
 	if want["kernel"] {
 		runKernel(*seed)
+		if len(want) == 1 {
+			return
+		}
+	}
+
+	if want["scale"] {
+		runScale(*seed, *scaleOut)
 		if len(want) == 1 {
 			return
 		}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/glap"
+	"github.com/glap-sim/glap/internal/metrics"
+	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+// The `-exp scale` mode measures per-stage wall time of a GLAP run across
+// cluster sizes and worker counts, seeding the repo's perf trajectory. The
+// workload is deliberately reduced (short pre-training, short consolidation)
+// so the full grid completes in minutes; the stage structure — pretrain /
+// consolidation / metrics — matches the real experiment exactly.
+const (
+	scaleRatio       = 2
+	scaleLearnRounds = 40
+	scaleAggRounds   = 20
+	scaleConsRounds  = 40
+)
+
+var scaleSizes = []int{500, 1000, 2000, 5000}
+
+// scaleRow is one grid cell of BENCH_scale.json.
+type scaleRow struct {
+	PMs     int `json:"pms"`
+	VMs     int `json:"vms"`
+	Workers int `json:"workers"`
+
+	PretrainSec      float64 `json:"pretrain_sec"`
+	ConsolidationSec float64 `json:"consolidation_sec"`
+	MetricsSec       float64 `json:"metrics_sec"`
+	TotalSec         float64 `json:"total_sec"`
+
+	// PretrainSpeedup is this row's pretrain time relative to the same-size
+	// workers=1 row (1.0 for the sequential row itself).
+	PretrainSpeedup float64 `json:"pretrain_speedup"`
+
+	// SeriesHash fingerprints the run's full metrics series; equal hashes
+	// across worker counts witness the determinism contract.
+	SeriesHash string `json:"series_hash"`
+}
+
+type scaleReport struct {
+	GOMAXPROCS  int        `json:"gomaxprocs"`
+	NumCPU      int        `json:"num_cpu"`
+	Ratio       int        `json:"ratio"`
+	LearnRounds int        `json:"learn_rounds"`
+	AggRounds   int        `json:"agg_rounds"`
+	ConsRounds  int        `json:"consolidation_rounds"`
+	Seed        uint64     `json:"seed"`
+	Rows        []scaleRow `json:"rows"`
+}
+
+// scaleWorkerList is {1, GOMAXPROCS}, extended with 8 when GOMAXPROCS < 8 so
+// the differential rows exercise real multi-goroutine execution (explicit
+// counts bypass the shared budget) even on small machines.
+func scaleWorkerList() []int {
+	ws := []int{1}
+	if g := runtime.GOMAXPROCS(0); g > 1 {
+		ws = append(ws, g)
+	}
+	if runtime.GOMAXPROCS(0) < 8 {
+		ws = append(ws, 8)
+	}
+	return ws
+}
+
+// runScaleCell executes one full reduced GLAP experiment at the given size
+// and worker count, timing each stage.
+func runScaleCell(pms, workers int, seed uint64, w *trace.Set) (scaleRow, error) {
+	row := scaleRow{PMs: pms, VMs: pms * scaleRatio, Workers: workers}
+	cfg := glap.Config{LearnRounds: scaleLearnRounds, AggRounds: scaleAggRounds}
+	opts := glap.PretrainOptions{Workers: workers}
+
+	build := func() (*dc.Cluster, error) {
+		c, err := dc.New(dc.Config{PMs: pms, Workload: w})
+		if err != nil {
+			return nil, err
+		}
+		c.Workers = workers
+		rng := sim.NewRNG(seed + 1)
+		c.PlaceRandom(rng.Intn)
+		return c, nil
+	}
+
+	pre, err := build()
+	if err != nil {
+		return row, err
+	}
+	start := time.Now()
+	res, err := glap.Pretrain(cfg, pre, seed+2, opts)
+	if err != nil {
+		return row, err
+	}
+	row.PretrainSec = time.Since(start).Seconds()
+
+	tables, err := glap.SharedTables(res)
+	if err != nil {
+		return row, err
+	}
+	run, err := build()
+	if err != nil {
+		return row, err
+	}
+	e := sim.NewEngine(pms, seed+3)
+	e.Workers = workers
+	b, err := policy.Bind(e, run)
+	if err != nil {
+		return row, err
+	}
+	glap.InstallConsolidation(e, b, tables, cfg, opts)
+	series := metrics.Attach(e, run, 0)
+	start = time.Now()
+	e.RunRounds(scaleConsRounds)
+	row.ConsolidationSec = time.Since(start).Seconds()
+
+	start = time.Now()
+	series.Finalize(run)
+	energy := metrics.TotalEnergyKWh(run)
+	if err := run.CheckInvariants(); err != nil {
+		return row, err
+	}
+	row.MetricsSec = time.Since(start).Seconds()
+	row.TotalSec = row.PretrainSec + row.ConsolidationSec + row.MetricsSec
+	row.SeriesHash = hashScaleSeries(series, energy)
+	return row, nil
+}
+
+// hashScaleSeries fingerprints every sample and the final SLA/energy floats
+// bit-exactly.
+func hashScaleSeries(s *metrics.Series, energyKWh float64) string {
+	h := sha256.New()
+	for _, sm := range s.Samples {
+		fmt.Fprintf(h, "%d,%d,%d,%d,%x\n",
+			sm.Round, sm.ActivePMs, sm.OverloadedPMs, sm.Migrations,
+			math.Float64bits(sm.MigrationEnergyJ))
+	}
+	fmt.Fprintf(h, "%x,%x,%x,%x\n",
+		math.Float64bits(s.SLAVO), math.Float64bits(s.SLALM),
+		math.Float64bits(s.SLAV), math.Float64bits(energyKWh))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// runScale is the `-exp scale` mode.
+func runScale(seed uint64, outPath string) {
+	rep := scaleReport{
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
+		Ratio:       scaleRatio,
+		LearnRounds: scaleLearnRounds,
+		AggRounds:   scaleAggRounds,
+		ConsRounds:  scaleConsRounds,
+		Seed:        seed,
+	}
+	workers := scaleWorkerList()
+	fmt.Printf("== scale: sizes=%v workers=%v (GOMAXPROCS=%d) ==\n",
+		scaleSizes, workers, rep.GOMAXPROCS)
+	for _, pms := range scaleSizes {
+		w, err := trace.Generate(trace.DefaultGenConfig(pms*scaleRatio, scaleLearnRounds+scaleAggRounds+scaleConsRounds, seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var seqPretrain float64
+		var seqHash string
+		for _, wk := range workers {
+			row, err := runScaleCell(pms, wk, seed, w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if wk == 1 {
+				seqPretrain, seqHash = row.PretrainSec, row.SeriesHash
+			}
+			if seqPretrain > 0 {
+				row.PretrainSpeedup = seqPretrain / row.PretrainSec
+			}
+			if seqHash != "" && row.SeriesHash != seqHash {
+				log.Fatalf("scale: series hash diverged at pms=%d workers=%d", pms, wk)
+			}
+			rep.Rows = append(rep.Rows, row)
+			fmt.Printf("pms=%-5d workers=%-2d pretrain=%7.2fs (%.2fx) consolidation=%6.2fs metrics=%6.3fs hash=%s\n",
+				pms, wk, row.PretrainSec, row.PretrainSpeedup, row.ConsolidationSec, row.MetricsSec, row.SeriesHash[:12])
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

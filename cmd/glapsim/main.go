@@ -28,14 +28,16 @@ func main() {
 	tracePath := flag.String("trace", "", "CSV workload trace (vm,round,cpu,mem); empty = synthetic")
 	saveQ := flag.String("save-qtables", "", "write GLAP's converged Q store to this file after the run")
 	loadQ := flag.String("load-qtables", "", "skip GLAP pre-training and load a checkpointed Q store")
+	workers := flag.Int("workers", 0, "fork-join workers inside the run (0 = auto, 1 = sequential); results are identical for every setting")
 	flag.Parse()
 
 	x := glapsim.Experiment{
-		PMs:    *pms,
-		Ratio:  *ratio,
-		Rounds: *rounds,
-		Seed:   *seed,
-		Policy: glapsim.Policy(*policy),
+		PMs:     *pms,
+		Ratio:   *ratio,
+		Rounds:  *rounds,
+		Seed:    *seed,
+		Policy:  glapsim.Policy(*policy),
+		Workers: *workers,
 	}
 	if *tracePath != "" {
 		set, err := trace.LoadFile(*tracePath)

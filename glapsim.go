@@ -126,6 +126,14 @@ type Experiment struct {
 	// population. 0 disables churn.
 	VMChurn float64
 
+	// Workers bounds the deterministic fork-join parallelism inside this
+	// run: the parallel learning phase, the cluster's demand refresh, and
+	// the metrics scans. <= 0 (the default) auto-sizes from the machine-wide
+	// worker budget shared with RunReplicated; 1 forces fully sequential
+	// execution; an explicit count > 1 is honored exactly. Results are
+	// byte-identical for every setting.
+	Workers int
+
 	// Net configures the message transport for message-passing policies
 	// (PolicyGLAPAsync). Cycle-driven policies ignore it.
 	Net NetConfig
@@ -337,6 +345,9 @@ func Run(x Experiment) (*Result, error) {
 		if opts.CyclonShuffleLen == 0 {
 			opts.CyclonShuffleLen = x.CyclonShuffleLen
 		}
+		if opts.Workers == 0 {
+			opts.Workers = x.Workers
+		}
 		pretrain, err = glap.Pretrain(x.GLAP, preCluster, deriveSeed(x.Seed, seedPretrain), opts)
 		if err != nil {
 			return nil, err
@@ -351,7 +362,9 @@ func Run(x Experiment) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.Workers = x.Workers
 	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
+	e.Workers = x.Workers
 	b, err := policy.Bind(e, c)
 	if err != nil {
 		return nil, err

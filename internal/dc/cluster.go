@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/glap-sim/glap/internal/par"
 	"github.com/glap-sim/glap/internal/trace"
 )
 
@@ -151,6 +152,17 @@ type Cluster struct {
 
 	// RoundSeconds is the wall-clock length of one round (the paper: 120 s).
 	RoundSeconds float64
+
+	// Workers bounds fork-join parallelism in AdvanceRound, the PM counting
+	// scans, and CheckInvariants (see sim.Engine.Workers for the semantics:
+	// <= 0 auto-sizes from the shared budget, 1 runs sequentially, > 1 is
+	// honored exactly). Results are identical for every setting.
+	Workers int
+
+	// hosted is AdvanceRound's reusable scratch: per-PM lists of present VMs
+	// in ascending VM-ID order, so each PM's demand sums fold in the exact
+	// order the former sequential rebuild used.
+	hosted [][]*VM
 
 	// Migrations is the cumulative migration count.
 	Migrations int64
@@ -435,118 +447,185 @@ func (c *Cluster) Migrate(vm *VM, dst *PM) error {
 	return nil
 }
 
+// Fork-join chunk sizes. Per-VM demand refresh is a handful of flops, so
+// chunks are large; per-PM work folds a whole hosted-VM list, so chunks are
+// smaller. Both depend only on the problem size, never on worker count.
+const (
+	vmChunk = 256
+	pmChunk = 64
+)
+
 // AdvanceRound moves the cluster to round r: every VM's current demand is
 // refreshed from the workload and folded into its running average, and PM
-// time/energy accounting advances by one round.
+// time/energy accounting advances by one round. Both passes fan out over
+// c.Workers: the VM refresh writes only the VM's own fields, and each PM's
+// rebuild writes only that PM — with its demand sums folded in ascending
+// VM-ID order, exactly the order the former sequential rebuild used, so the
+// floats are bit-identical for every worker count.
 func (c *Cluster) AdvanceRound(r int) {
 	c.round = r
 	c.stepLifecycle(r)
-	for _, vm := range c.VMs {
-		if !vm.Present() {
-			continue
+	par.ForChunks(len(c.VMs), vmChunk, c.Workers, func(lo, hi int) {
+		for _, vm := range c.VMs[lo:hi] {
+			if !vm.Present() {
+				continue
+			}
+			s := c.workload.At(vm.ID, r)
+			vm.Cur = Vec{s.CPU, s.Mem}
+			// Running average: ((c*v) + d(t)) / (c+1), per resource.
+			n := float64(vm.count)
+			for res := 0; res < NumResources; res++ {
+				vm.avg[res] = (n*vm.avg[res] + vm.Cur[res]) / (n + 1)
+			}
+			vm.count++
+			vm.requestedCPU += vm.Cur[CPU] * vm.Spec.Capacity[CPU] * c.RoundSeconds
 		}
-		s := c.workload.At(vm.ID, r)
-		vm.Cur = Vec{s.CPU, s.Mem}
-		// Running average: ((c*v) + d(t)) / (c+1), per resource.
-		n := float64(vm.count)
-		for res := 0; res < NumResources; res++ {
-			vm.avg[res] = (n*vm.avg[res] + vm.Cur[res]) / (n + 1)
-		}
-		vm.count++
-		vm.requestedCPU += vm.Cur[CPU] * vm.Spec.Capacity[CPU] * c.RoundSeconds
-	}
+	})
 	// Rebuild the cached demand sums from scratch: demand changed for every
-	// VM, and a fresh summation avoids accumulating float drift. Accumulate
-	// in ascending VM-ID order — summing over the pm.vms map would add in a
-	// randomized order, and float addition is order-sensitive, so map order
-	// would make runs only probabilistically reproducible.
-	for _, pm := range c.PMs {
-		pm.curSum, pm.avgSum = Vec{}, Vec{}
+	// VM, and a fresh summation avoids accumulating float drift. The hosted
+	// lists are built sequentially in ascending VM-ID order — summing over
+	// the pm.vms map would add in a randomized order, and float addition is
+	// order-sensitive, so map order would make runs only probabilistically
+	// reproducible.
+	if cap(c.hosted) < len(c.PMs) {
+		c.hosted = make([][]*VM, len(c.PMs))
+	}
+	c.hosted = c.hosted[:len(c.PMs)]
+	for i := range c.hosted {
+		c.hosted[i] = c.hosted[i][:0]
 	}
 	for _, vm := range c.VMs {
-		if !vm.Present() {
-			continue
+		if vm.Present() {
+			c.hosted[vm.Host] = append(c.hosted[vm.Host], vm)
 		}
-		pm := c.PMs[vm.Host]
-		pm.curSum = pm.curSum.Add(vm.CurAbs())
-		pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
 	}
-	for _, pm := range c.PMs {
-		if !pm.on {
-			continue
+	par.ForChunks(len(c.PMs), pmChunk, c.Workers, func(lo, hi int) {
+		for _, pm := range c.PMs[lo:hi] {
+			pm.curSum, pm.avgSum = Vec{}, Vec{}
+			for _, vm := range c.hosted[pm.ID] {
+				pm.curSum = pm.curSum.Add(vm.CurAbs())
+				pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
+			}
+			if !pm.on {
+				continue
+			}
+			pm.activeSeconds += c.RoundSeconds
+			u := c.CurUtil(pm)
+			cpuU := u[CPU]
+			if cpuU >= 1 {
+				pm.overloadSeconds += c.RoundSeconds
+				cpuU = 1
+			}
+			pm.energyJ += (pm.Spec.PowerIdleW + (pm.Spec.PowerMaxW-pm.Spec.PowerIdleW)*cpuU) * c.RoundSeconds
 		}
-		pm.activeSeconds += c.RoundSeconds
-		u := c.CurUtil(pm)
-		cpuU := u[CPU]
-		if cpuU >= 1 {
-			pm.overloadSeconds += c.RoundSeconds
-			cpuU = 1
-		}
-		pm.energyJ += (pm.Spec.PowerIdleW + (pm.Spec.PowerMaxW-pm.Spec.PowerIdleW)*cpuU) * c.RoundSeconds
-	}
+	})
 }
 
 // ActivePMs returns the number of powered PMs.
 func (c *Cluster) ActivePMs() int {
-	n := 0
-	for _, pm := range c.PMs {
-		if pm.on {
-			n++
-		}
-	}
-	return n
+	return par.OrderedCount(len(c.PMs), pmChunk, c.Workers, func(i int) bool {
+		return c.PMs[i].on
+	})
 }
 
 // OverloadedPMs returns the number of powered PMs whose current demand
 // saturates at least one resource.
 func (c *Cluster) OverloadedPMs() int {
-	n := 0
-	for _, pm := range c.PMs {
-		if pm.on && c.Overloaded(pm) {
-			n++
-		}
-	}
-	return n
+	return par.OrderedCount(len(c.PMs), pmChunk, c.Workers, func(i int) bool {
+		return c.PMs[i].on && c.Overloaded(c.PMs[i])
+	})
 }
 
 // CheckInvariants verifies structural consistency (every VM on exactly one
 // powered PM that also lists it). It is used by tests and returns the first
-// violation found.
+// violation found. The per-PM scans fan out over c.Workers with per-chunk
+// hosting counts merged in chunk-index order afterwards, so the reported
+// violation is deterministic: the one from the lowest PM index range wins,
+// matching the former sequential scan.
 func (c *Cluster) CheckInvariants() error {
+	pmChunks := chunkCount(len(c.PMs), pmChunk)
+	pmErrs := make([]error, pmChunks)
+	counts := make([]map[int]int, pmChunks)
+	par.ForChunks(len(c.PMs), pmChunk, c.Workers, func(lo, hi int) {
+		ci := lo / pmChunk
+		seen := make(map[int]int)
+		counts[ci] = seen
+		for _, pm := range c.PMs[lo:hi] {
+			for id, vm := range pm.vms {
+				if vm.ID != id {
+					pmErrs[ci] = fmt.Errorf("dc: PM %d maps id %d to VM %d", pm.ID, id, vm.ID)
+					return
+				}
+				if vm.Host != pm.ID {
+					pmErrs[ci] = fmt.Errorf("dc: VM %d hosted by PM %d but Host=%d", vm.ID, pm.ID, vm.Host)
+					return
+				}
+				if !pm.on {
+					pmErrs[ci] = fmt.Errorf("dc: powered-off PM %d hosts VM %d", pm.ID, vm.ID)
+					return
+				}
+				seen[id]++
+			}
+		}
+	})
+	for _, err := range pmErrs {
+		if err != nil {
+			return err
+		}
+	}
 	seen := make(map[int]int)
-	for _, pm := range c.PMs {
-		for id, vm := range pm.vms {
-			if vm.ID != id {
-				return fmt.Errorf("dc: PM %d maps id %d to VM %d", pm.ID, id, vm.ID)
-			}
-			if vm.Host != pm.ID {
-				return fmt.Errorf("dc: VM %d hosted by PM %d but Host=%d", vm.ID, pm.ID, vm.Host)
-			}
-			if !pm.on {
-				return fmt.Errorf("dc: powered-off PM %d hosts VM %d", pm.ID, vm.ID)
-			}
-			seen[id]++
+	for _, m := range counts {
+		for id, n := range m {
+			seen[id] += n
 		}
 	}
-	for _, vm := range c.VMs {
-		if vm.Host >= 0 && seen[vm.ID] != 1 {
-			return fmt.Errorf("dc: VM %d appears on %d PMs", vm.ID, seen[vm.ID])
-		}
-	}
-	for _, pm := range c.PMs {
-		var sum Vec
-		for _, d := range pm.reserved {
-			sum = sum.Add(d)
-		}
-		for r := 0; r < NumResources; r++ {
-			diff := sum[r] - pm.reservedSum[r]
-			if diff < -1e-6 || diff > 1e-6 {
-				return fmt.Errorf("dc: PM %d reservedSum drifted: cached %v, actual %v", pm.ID, pm.reservedSum, sum)
+	vmErrs := make([]error, chunkCount(len(c.VMs), vmChunk))
+	par.ForChunks(len(c.VMs), vmChunk, c.Workers, func(lo, hi int) {
+		for _, vm := range c.VMs[lo:hi] {
+			if vm.Host >= 0 && seen[vm.ID] != 1 {
+				vmErrs[lo/vmChunk] = fmt.Errorf("dc: VM %d appears on %d PMs", vm.ID, seen[vm.ID])
+				return
 			}
 		}
-		if !pm.on && len(pm.reserved) > 0 {
-			return fmt.Errorf("dc: powered-off PM %d holds %d reservations", pm.ID, len(pm.reserved))
+	})
+	for _, err := range vmErrs {
+		if err != nil {
+			return err
+		}
+	}
+	resErrs := make([]error, pmChunks)
+	par.ForChunks(len(c.PMs), pmChunk, c.Workers, func(lo, hi int) {
+		for _, pm := range c.PMs[lo:hi] {
+			var sum Vec
+			for _, d := range pm.reserved {
+				sum = sum.Add(d)
+			}
+			for r := 0; r < NumResources; r++ {
+				diff := sum[r] - pm.reservedSum[r]
+				if diff < -1e-6 || diff > 1e-6 {
+					resErrs[lo/pmChunk] = fmt.Errorf("dc: PM %d reservedSum drifted: cached %v, actual %v", pm.ID, pm.reservedSum, sum)
+					return
+				}
+			}
+			if !pm.on && len(pm.reserved) > 0 {
+				resErrs[lo/pmChunk] = fmt.Errorf("dc: powered-off PM %d holds %d reservations", pm.ID, len(pm.reserved))
+				return
+			}
+		}
+	})
+	for _, err := range resErrs {
+		if err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// chunkCount mirrors par.ForChunks's partitioning: the number of chunks a
+// problem of size n splits into.
+func chunkCount(n, chunk int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + chunk - 1) / chunk
 }

@@ -380,3 +380,92 @@ func TestDegradationRatioZeroWhenNoRequest(t *testing.T) {
 		t.Fatal("zero requested CPU should yield zero ratio")
 	}
 }
+
+// TestAdvanceRoundWorkerCountBitEquivalence drives two identically-seeded
+// clusters through the same rounds, one sequential and one with 8 explicit
+// workers, and requires every float accumulator to match bit-for-bit — the
+// determinism contract of the fork-join AdvanceRound.
+func TestAdvanceRoundWorkerCountBitEquivalence(t *testing.T) {
+	build := func(workers int) *Cluster {
+		set, err := trace.Generate(trace.DefaultGenConfig(40, 120, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := New(Config{PMs: 40, Workload: set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Workers = workers
+		rng := sim.NewRNG(11)
+		c.PlaceRandom(rng.Intn)
+		return c
+	}
+	a, b := build(1), build(8)
+	bits := math.Float64bits
+	for r := 0; r < 60; r++ {
+		a.AdvanceRound(r)
+		b.AdvanceRound(r)
+	}
+	if got, want := b.ActivePMs(), a.ActivePMs(); got != want {
+		t.Fatalf("ActivePMs: %d vs %d", got, want)
+	}
+	if got, want := b.OverloadedPMs(), a.OverloadedPMs(); got != want {
+		t.Fatalf("OverloadedPMs: %d vs %d", got, want)
+	}
+	for i := range a.PMs {
+		pa, pb := a.PMs[i], b.PMs[i]
+		for res := 0; res < NumResources; res++ {
+			if bits(pa.curSum[res]) != bits(pb.curSum[res]) {
+				t.Fatalf("PM %d curSum[%d] diverges: %x vs %x", i, res, bits(pa.curSum[res]), bits(pb.curSum[res]))
+			}
+			if bits(pa.avgSum[res]) != bits(pb.avgSum[res]) {
+				t.Fatalf("PM %d avgSum[%d] diverges", i, res)
+			}
+		}
+		if bits(pa.energyJ) != bits(pb.energyJ) {
+			t.Fatalf("PM %d energyJ diverges: %x vs %x", i, bits(pa.energyJ), bits(pb.energyJ))
+		}
+		if pa.activeSeconds != pb.activeSeconds || pa.overloadSeconds != pb.overloadSeconds {
+			t.Fatalf("PM %d time accounting diverges", i)
+		}
+	}
+	for i := range a.VMs {
+		va, vb := a.VMs[i], b.VMs[i]
+		for res := 0; res < NumResources; res++ {
+			if bits(va.avg[res]) != bits(vb.avg[res]) {
+				t.Fatalf("VM %d avg[%d] diverges", i, res)
+			}
+		}
+		if bits(va.requestedCPU) != bits(vb.requestedCPU) {
+			t.Fatalf("VM %d requestedCPU diverges", i)
+		}
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckInvariantsParallelDetectsCorruption(t *testing.T) {
+	// The chunked scan must still catch a violation planted anywhere,
+	// including in the last chunk of a cluster spanning several chunks.
+	set := mustSyntheticConst(t, 10, 2, 0.1, 0.1)
+	c, err := New(Config{PMs: 3 * pmChunk, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(5)
+	c.PlaceRandom(rng.Intn)
+	c.Workers = 8
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	vm := c.VMs[0]
+	delete(c.PMs[vm.Host].vms, vm.ID)
+	c.PMs[len(c.PMs)-1].vms[vm.ID] = vm
+	if err := c.CheckInvariants(); err == nil {
+		t.Fatal("corruption in last chunk went undetected")
+	}
+}

@@ -24,6 +24,14 @@ func (p *phased) Round(e *sim.Engine, n *sim.Node, r int) {
 	}
 }
 
+// Parallelizable delegates to the wrapped protocol so that a phased learning
+// component still fans out while a phased aggregation or consolidation
+// component stays sequential.
+func (p *phased) Parallelizable() bool {
+	pr, ok := p.inner.(sim.ParallelRound)
+	return ok && pr.Parallelizable()
+}
+
 // InstallContinuous registers the full GLAP stack in the paper's continuous
 // deployment: the two-phase learning protocol re-runs on a fixed interval —
 // "the learning component runs as required by a predefined policy e.g. ...

@@ -46,6 +46,10 @@ type PretrainOptions struct {
 	// (defaults 20 / 8).
 	CyclonViewSize   int
 	CyclonShuffleLen int
+	// Workers bounds fork-join parallelism inside the pretraining engine and
+	// its cluster (see sim.Engine.Workers for the semantics). Results are
+	// identical for every setting.
+	Workers int
 }
 
 // Pretrain executes the paper's pre-training: Algorithm 1 for
@@ -61,6 +65,8 @@ func Pretrain(cfg Config, cl *dc.Cluster, seed uint64, opts PretrainOptions) (*P
 		return nil, err
 	}
 	e := sim.NewEngine(len(cl.PMs), seed)
+	e.Workers = opts.Workers
+	cl.Workers = opts.Workers
 	b, err := policy.Bind(e, cl)
 	if err != nil {
 		return nil, err

@@ -98,11 +98,18 @@ type LearnProtocol struct {
 	Cfg Config
 	B   *policy.Binding
 
-	rng sim.BoundRNG
+	rng sim.BoundNodeRNG
 }
 
 // Name implements sim.Protocol.
 func (l *LearnProtocol) Name() string { return LearnProtocolName }
+
+// Parallelizable implements sim.ParallelRound: Round only writes the active
+// node's own Q store, its own cyclon view, and its own derived random
+// stream; peers and the cluster are read-only. That makes the learning phase
+// — the paper's "700 more rounds" of pre-training — safe to fan out across
+// the engine's workers with byte-identical results for any worker count.
+func (l *LearnProtocol) Parallelizable() bool { return true }
 
 // Setup creates the node's empty Q store.
 func (l *LearnProtocol) Setup(e *sim.Engine, n *sim.Node) any {
@@ -117,9 +124,11 @@ func TablesOf(e *sim.Engine, n *sim.Node) *NodeTables {
 	return e.State(LearnProtocolName, n).(*NodeTables)
 }
 
-// Round implements one local training round (Algorithm 1 body).
+// Round implements one local training round (Algorithm 1 body). Each node
+// draws from its own derived stream — a prerequisite of the ParallelRound
+// contract, and what keeps training independent of node visit order.
 func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
-	rng := l.rng.For(e, 0x61ea51)
+	rng := l.rng.For(e, n.ID, 0x61ea51)
 	c := l.B.C
 	pm := l.B.PM(n)
 	// Only lightly loaded PMs train, to avoid impacting collocated VMs.

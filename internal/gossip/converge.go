@@ -1,6 +1,7 @@
 package gossip
 
 import (
+	"github.com/glap-sim/glap/internal/par"
 	"github.com/glap-sim/glap/internal/sim"
 	"github.com/glap-sim/glap/internal/stats"
 )
@@ -58,16 +59,28 @@ func MeanPairwiseCosine[K comparable](e *sim.Engine, vec VectorFunc[K], pairs in
 type DenseVectorFunc func(e *sim.Engine, n *sim.Node) []float64
 
 // collectDense gathers the eligible nodes' dense vectors, indexed alongside
-// holders.
+// holders. Vector extraction fans out over the engine's workers — vec fills
+// the node's own buffer, a node-local write under the ParallelRound rules —
+// and the compaction that follows is sequential in node order, so the holder
+// list is identical for every worker count.
 func collectDense(e *sim.Engine, vec DenseVectorFunc) ([]*sim.Node, [][]float64) {
+	nodes := e.Nodes()
+	byNode := make([][]float64, len(nodes))
+	par.ForChunks(len(nodes), 64, e.Workers, func(lo, hi int) {
+		for i, n := range nodes[lo:hi] {
+			if !n.Up() {
+				continue
+			}
+			if v := vec(e, n); len(v) > 0 {
+				byNode[lo+i] = v
+			}
+		}
+	})
 	var holders []*sim.Node
 	var vecs [][]float64
-	for _, n := range e.Nodes() {
-		if !n.Up() {
-			continue
-		}
-		if v := vec(e, n); len(v) > 0 {
-			holders = append(holders, n)
+	for i, v := range byNode {
+		if v != nil {
+			holders = append(holders, nodes[i])
 			vecs = append(vecs, v)
 		}
 	}
@@ -75,7 +88,10 @@ func collectDense(e *sim.Engine, vec DenseVectorFunc) ([]*sim.Node, [][]float64)
 }
 
 // MeanPairwiseCosineDense is MeanPairwiseCosine over aligned dense vectors:
-// each sampled pair costs one dot-product scan, with no map allocation.
+// each sampled pair costs one dot-product scan, with no map allocation. Pair
+// sampling stays sequential (the rng draw sequence is part of the golden
+// fingerprint); the dot products fan out over the engine's workers and fold
+// in sample order, bit-identical to the sequential loop.
 func MeanPairwiseCosineDense(e *sim.Engine, vec DenseVectorFunc, pairs int, rng *sim.RNG) float64 {
 	holders, vecs := collectDense(e, vec)
 	if len(holders) < 2 {
@@ -84,20 +100,23 @@ func MeanPairwiseCosineDense(e *sim.Engine, vec DenseVectorFunc, pairs int, rng 
 	if pairs <= 0 {
 		pairs = 64
 	}
-	sum, cnt := 0.0, 0
+	type pair struct{ a, b int }
+	sampled := make([]pair, 0, pairs)
 	for i := 0; i < pairs; i++ {
 		a := rng.Intn(len(holders))
 		b := rng.Intn(len(holders))
 		if holders[a].ID == holders[b].ID {
 			continue
 		}
-		sum += stats.CosineAligned(vecs[a], vecs[b])
-		cnt++
+		sampled = append(sampled, pair{a, b})
 	}
-	if cnt == 0 {
+	if len(sampled) == 0 {
 		return 1
 	}
-	return sum / float64(cnt)
+	sum := par.OrderedSum(len(sampled), 8, e.Workers, func(i int) float64 {
+		return stats.CosineAligned(vecs[sampled[i].a], vecs[sampled[i].b])
+	})
+	return sum / float64(len(sampled))
 }
 
 // AllPairsCosineDense computes the exact mean pairwise cosine similarity

@@ -5,7 +5,11 @@
 // (seed, replication) pair fully determines a run.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/glap-sim/glap/internal/par"
+)
 
 // Node is one simulated machine. Per-protocol state is held in a slice
 // indexed by the protocol's registration order.
@@ -36,6 +40,27 @@ type Protocol interface {
 	Round(e *Engine, n *Node, round int)
 }
 
+// ParallelRound is the opt-in contract for fork-join execution of a
+// protocol's node pass. A protocol may declare it when, for every node n,
+// Round(e, n, r) only WRITES state owned by n (its own protocol states, its
+// own derived random stream, n-local scratch) while shared structures —
+// other nodes' states, the cluster, the engine — are only READ, and no two
+// nodes' rounds observe each other's writes within the same pass. Protocols
+// that mutate peer state (push-pull gossip exchanges, Algorithm 3
+// consolidation moving VMs) must not declare it and always run sequentially.
+//
+// Determinism is the caller's headline invariant: because each conforming
+// Round is self-contained and draws from per-node randomness, the round's
+// outcome is independent of execution order, so any worker count — including
+// 1 — produces byte-identical simulations.
+type ParallelRound interface {
+	Protocol
+	// Parallelizable reports whether Round currently satisfies the contract
+	// above. Wrappers delegate to the wrapped protocol; a plain protocol
+	// returns a constant true.
+	Parallelizable() bool
+}
+
 // Observer is called at the end of every completed round, after all
 // protocols ran on all nodes.
 type Observer func(e *Engine, round int)
@@ -59,10 +84,19 @@ type Engine struct {
 	pre       []Observer
 	round     int
 	stopReq   bool
+	upCount   int
 
 	// RoundPeriod is the virtual duration of one round. The paper uses
 	// 2-minute rounds; the default is 120 (seconds).
 	RoundPeriod int64
+
+	// Workers bounds intra-run fork-join parallelism for protocols that
+	// declare ParallelRound. <= 0 (the default) sizes automatically from the
+	// machine-wide worker budget shared with RunReplications, so nested
+	// parallelism cannot oversubscribe; 1 forces sequential execution; an
+	// explicit count > 1 is honored exactly (differential and race tests
+	// rely on that). Results are identical for every setting.
+	Workers int
 }
 
 // NewEngine builds an engine with n nodes, all initially up, seeded by seed.
@@ -76,6 +110,7 @@ func NewEngine(n int, seed uint64) *Engine {
 	for i := range e.nodes {
 		e.nodes[i] = &Node{ID: i, up: true}
 	}
+	e.upCount = n
 	return e
 }
 
@@ -99,20 +134,24 @@ func (e *Engine) Nodes() []*Node { return e.nodes }
 // Node returns the node with the given id.
 func (e *Engine) Node(id int) *Node { return e.nodes[id] }
 
-// UpCount returns the number of nodes currently up.
-func (e *Engine) UpCount() int {
-	c := 0
-	for _, n := range e.nodes {
-		if n.up {
-			c++
-		}
-	}
-	return c
-}
+// UpCount returns the number of nodes currently up. The count is maintained
+// incrementally by SetUp — observers call this every round, and the former
+// O(n) scan was pure overhead on large clusters.
+func (e *Engine) UpCount() int { return e.upCount }
 
 // SetUp switches node n on or off. Switched-off nodes do not execute
 // protocol rounds and are skipped by peer samplers that filter dead peers.
-func (e *Engine) SetUp(n *Node, up bool) { n.up = up }
+func (e *Engine) SetUp(n *Node, up bool) {
+	if n.up == up {
+		return
+	}
+	n.up = up
+	if up {
+		e.upCount++
+	} else {
+		e.upCount--
+	}
+}
 
 // Register adds a protocol that runs every round, starting at round 0.
 func (e *Engine) Register(p Protocol) {
@@ -220,6 +259,10 @@ func (e *Engine) RunRounds(rounds int) {
 			if (r-reg.from)%reg.every != 0 {
 				continue
 			}
+			if pr, ok := reg.proto.(ParallelRound); ok && pr.Parallelizable() {
+				e.runNodesParallel(reg.proto, order, r)
+				continue
+			}
 			for _, n := range order {
 				if n.up {
 					reg.proto.Round(e, n, r)
@@ -237,6 +280,24 @@ func (e *Engine) RunRounds(rounds int) {
 	e.round = rounds
 	e.now = int64(rounds) * e.RoundPeriod
 	e.drainUntil(e.now)
+}
+
+// runNodesParallel fans one ParallelRound protocol's pass over the shuffled
+// node order. The order slice is partitioned into index-contiguous chunks and
+// joined before returning, so observers never see a half-finished pass. The
+// ParallelRound contract (per-node writes only, per-node randomness) makes
+// the result independent of chunking and worker count.
+func (e *Engine) runNodesParallel(p Protocol, order []*Node, r int) {
+	// ~32 chunks regardless of worker count: fine-grained enough to balance
+	// heterogeneous per-node work, coarse enough that scheduling is noise.
+	chunk := (len(order) + 31) / 32
+	par.ForChunks(len(order), chunk, e.Workers, func(lo, hi int) {
+		for _, n := range order[lo:hi] {
+			if n.up {
+				p.Round(e, n, r)
+			}
+		}
+	})
 }
 
 // drainUntil fires all pending events with Time <= t in order.

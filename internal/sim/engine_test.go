@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 )
 
@@ -261,4 +262,146 @@ func TestRegisterPanicsOnBadPeriod(t *testing.T) {
 		}
 	}()
 	e.RegisterEvery(newCountingProto("p"), 0)
+}
+
+// parallelProto is a ParallelRound-conforming protocol: each Round writes
+// only the active node's own counter slot.
+type parallelProto struct {
+	name   string
+	visits []atomic.Int64 // indexed by node ID
+	par    bool
+}
+
+func (p *parallelProto) Name() string { return p.name }
+func (p *parallelProto) Setup(e *Engine, n *Node) any {
+	if p.visits == nil {
+		p.visits = make([]atomic.Int64, e.N())
+	}
+	return nil
+}
+func (p *parallelProto) Round(e *Engine, n *Node, r int) { p.visits[n.ID].Add(1) }
+func (p *parallelProto) Parallelizable() bool            { return p.par }
+
+func TestParallelRoundVisitsEveryUpNodeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 8} {
+		e := NewEngine(100, 7)
+		e.Workers = workers
+		p := &parallelProto{name: "pp", par: true}
+		e.Register(p)
+		e.SetUp(e.Node(13), false)
+		e.SetUp(e.Node(77), false)
+		e.RunRounds(4)
+		for id := range p.visits {
+			want := int64(4)
+			if id == 13 || id == 77 {
+				want = 0
+			}
+			if got := p.visits[id].Load(); got != want {
+				t.Fatalf("workers=%d: node %d visited %d times, want %d", workers, id, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelRoundFalseRunsSequential(t *testing.T) {
+	// Parallelizable() == false must take the plain sequential path even when
+	// Workers > 1; the per-node counts still come out right.
+	e := NewEngine(20, 7)
+	e.Workers = 8
+	p := &parallelProto{name: "pp", par: false}
+	e.Register(p)
+	e.RunRounds(2)
+	for id := range p.visits {
+		if got := p.visits[id].Load(); got != 2 {
+			t.Fatalf("node %d visited %d times, want 2", id, got)
+		}
+	}
+}
+
+// panicProto panics on one specific node's round.
+type panicProto struct{ par bool }
+
+func (p *panicProto) Name() string                 { return "panicer" }
+func (p *panicProto) Setup(e *Engine, n *Node) any { return nil }
+func (p *panicProto) Round(e *Engine, n *Node, r int) {
+	if n.ID == 9 {
+		panic("round blew up")
+	}
+}
+func (p *panicProto) Parallelizable() bool { return p.par }
+
+func TestParallelRoundPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				if r := recover(); r != "round blew up" {
+					t.Fatalf("workers=%d: recovered %v", workers, r)
+				}
+			}()
+			e := NewEngine(40, 7)
+			e.Workers = workers
+			e.Register(&panicProto{par: true})
+			e.RunRounds(1)
+			t.Fatalf("workers=%d: RunRounds returned without panicking", workers)
+		}()
+	}
+}
+
+func TestUpCountTracksScan(t *testing.T) {
+	e := NewEngine(50, 3)
+	scan := func() int {
+		c := 0
+		for _, n := range e.Nodes() {
+			if n.Up() {
+				c++
+			}
+		}
+		return c
+	}
+	rng := NewRNG(99)
+	for i := 0; i < 500; i++ {
+		n := e.Node(rng.Intn(50))
+		e.SetUp(n, rng.Bool())
+		if got, want := e.UpCount(), scan(); got != want {
+			t.Fatalf("step %d: UpCount() = %d, scan = %d", i, got, want)
+		}
+	}
+	// Redundant transitions must not skew the counter.
+	n := e.Node(0)
+	e.SetUp(n, true)
+	e.SetUp(n, true)
+	e.SetUp(n, true)
+	if got, want := e.UpCount(), scan(); got != want {
+		t.Fatalf("after redundant SetUp: UpCount() = %d, scan = %d", got, want)
+	}
+}
+
+func TestBoundNodeRNGPerNodeStreamsStableAcrossEngines(t *testing.T) {
+	var b BoundNodeRNG
+	e1 := NewEngine(8, 42)
+	// Per-node streams are deterministic functions of (seed, node) alone.
+	first := make([]uint64, 8)
+	for id := 0; id < 8; id++ {
+		first[id] = b.For(e1, id, 0xabc).Uint64()
+	}
+	for id := 0; id < 8; id++ {
+		for other := 0; other < 8; other++ {
+			if id != other && first[id] == first[other] {
+				t.Fatalf("nodes %d and %d share stream output", id, other)
+			}
+		}
+	}
+	// Rebinding to a new engine with the same seed reproduces the streams.
+	var b2 BoundNodeRNG
+	e2 := NewEngine(8, 42)
+	for id := 0; id < 8; id++ {
+		if got := b2.For(e2, id, 0xabc).Uint64(); got != first[id] {
+			t.Fatalf("node %d: fresh engine stream %#x, want %#x", id, got, first[id])
+		}
+	}
+	// Rebinding to a different-seed engine yields different streams.
+	e3 := NewEngine(8, 43)
+	if b.For(e3, 0, 0xabc).Uint64() == first[0] {
+		t.Fatal("different engine seed must change the node stream")
+	}
 }

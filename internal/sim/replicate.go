@@ -1,8 +1,7 @@
 package sim
 
 import (
-	"runtime"
-	"sync"
+	"github.com/glap-sim/glap/internal/par"
 )
 
 // RunReplications executes run(rep) for rep in [0, n) across a bounded worker
@@ -10,44 +9,38 @@ import (
 // every experiment 20 times; replications are independent simulations, so
 // they parallelise perfectly.
 //
-// workers <= 0 selects GOMAXPROCS workers.
+// workers follows the par package semantics: <= 0 selects GOMAXPROCS (capped
+// by the machine-wide budget shared with intra-run fork-joins), 1 runs
+// inline, an explicit count > 1 is honored exactly (clamped to n). A panic in
+// run is re-raised in the caller after the pool has drained.
 func RunReplications[T any](n, workers int, run func(rep int) T) []T {
 	if n <= 0 {
 		return nil
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
 	results := make([]T, n)
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for rep := range next {
-				results[rep] = run(rep)
-			}
-		}()
-	}
-	for rep := 0; rep < n; rep++ {
-		next <- rep
-	}
-	close(next)
-	wg.Wait()
+	par.ForChunks(n, 1, workers, func(lo, hi int) {
+		for rep := lo; rep < hi; rep++ {
+			results[rep] = run(rep)
+		}
+	})
 	return results
 }
 
 // ReplicationSeed derives a per-replication root seed from an experiment
 // seed. Using a fixed mixing function (rather than seed+rep) keeps the
 // replication streams far apart in the generator's state space.
+//
+// The warm-up used to be a loop of rep+1 discarded splitmix64 calls — O(rep)
+// per seed, quadratic across a replication set. Each discarded call only
+// advances the state by the splitmix64 increment, so the whole warm-up is a
+// single jump of (rep+1) increments; the produced values are unchanged
+// (TestReplicationSeedMatchesLegacyLoop pins the first 32).
 func ReplicationSeed(experimentSeed uint64, rep int) uint64 {
-	x := experimentSeed ^ 0x2545f4914f6cdd1d
-	for i := 0; i <= rep; i++ {
-		_ = splitmix64(&x)
+	jumps := rep + 1
+	if jumps < 0 {
+		jumps = 0
 	}
+	x := experimentSeed ^ 0x2545f4914f6cdd1d
+	x += uint64(jumps) * 0x9e3779b97f4a7c15
 	return splitmix64(&x)
 }

@@ -74,3 +74,73 @@ func TestReplicationSeedDeterministic(t *testing.T) {
 		t.Fatal("different experiment seeds should differ")
 	}
 }
+
+// legacyReplicationSeed is the original O(rep) warm-up loop. The constant-time
+// jump in ReplicationSeed must reproduce it exactly — these seeds are baked
+// into every golden fingerprint in the repo.
+func legacyReplicationSeed(experimentSeed uint64, rep int) uint64 {
+	x := experimentSeed ^ 0x2545f4914f6cdd1d
+	for i := 0; i <= rep; i++ {
+		_ = splitmix64(&x)
+	}
+	return splitmix64(&x)
+}
+
+func TestReplicationSeedMatchesLegacyLoop(t *testing.T) {
+	for _, expSeed := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		for rep := 0; rep < 32; rep++ {
+			got := ReplicationSeed(expSeed, rep)
+			want := legacyReplicationSeed(expSeed, rep)
+			if got != want {
+				t.Fatalf("ReplicationSeed(%#x, %d) = %#x, legacy loop = %#x", expSeed, rep, got, want)
+			}
+		}
+	}
+}
+
+func TestRunReplicationsWorkerClamping(t *testing.T) {
+	// n < workers: every rep still runs exactly once.
+	var ran atomic.Int64
+	results := RunReplications(3, 16, func(rep int) int {
+		ran.Add(1)
+		return rep
+	})
+	if ran.Load() != 3 || len(results) != 3 {
+		t.Fatalf("ran %d reps, got %d results; want 3", ran.Load(), len(results))
+	}
+	for i, r := range results {
+		if r != i {
+			t.Fatalf("result[%d] = %d", i, r)
+		}
+	}
+	// workers == 1 runs inline and in order.
+	var order []int
+	RunReplications(5, 1, func(rep int) struct{} {
+		order = append(order, rep)
+		return struct{}{}
+	})
+	for i, r := range order {
+		if r != i {
+			t.Fatalf("sequential run out of order: %v", order)
+		}
+	}
+}
+
+func TestRunReplicationsPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "replication failed" {
+					t.Fatalf("workers=%d: recovered %v, want \"replication failed\"", workers, r)
+				}
+			}()
+			RunReplications(8, workers, func(rep int) int {
+				if rep == 5 {
+					panic("replication failed")
+				}
+				return rep
+			})
+			t.Fatalf("workers=%d: RunReplications returned without panicking", workers)
+		}()
+	}
+}

@@ -1,6 +1,10 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
 
 // RNG is a deterministic, splittable pseudo-random number generator based on
 // xoshiro256** seeded through SplitMix64. Every stochastic component of a
@@ -188,4 +192,57 @@ func (b *BoundRNG) For(e *Engine, keys ...uint64) *RNG {
 		b.e, b.rng = e, e.RNG().Derive(keys...)
 	}
 	return b.rng
+}
+
+// BoundNodeRNG is the per-node counterpart of BoundRNG: one independent
+// stream per node, each derived from the engine's root keyed by (keys...,
+// node ID). Protocols that declare sim.ParallelRound draw from it instead of
+// a single shared stream — a shared stream's values depend on node visit
+// order, which a fork-join pass cannot (and must not) fix, whereas per-node
+// streams make every node's randomness a function of the seed and the node
+// alone. The zero value is ready for use.
+//
+// For is safe for concurrent use by the engine's round workers. The keys
+// must be the same on every call for a given BoundNodeRNG value; the family
+// is derived once per engine, on first use.
+type BoundNodeRNG struct {
+	binding atomic.Pointer[nodeStreams]
+	mu      sync.Mutex
+}
+
+type nodeStreams struct {
+	e    *Engine
+	rngs []*RNG
+}
+
+// For returns node id's stream on engine e, deriving the whole per-node
+// family on first use and re-deriving when e differs from the previous
+// engine. Derivation reads but never advances the engine root, so the family
+// is identical no matter when in the run — or from which worker — it is
+// first requested.
+func (b *BoundNodeRNG) For(e *Engine, id int, keys ...uint64) *RNG {
+	if s := b.binding.Load(); s != nil && s.e == e {
+		return s.rngs[id]
+	}
+	return b.bind(e, keys).rngs[id]
+}
+
+// bind builds (or re-builds) the per-node stream family for e. Concurrent
+// first calls race benignly: derivation is deterministic and side-effect
+// free, and the mutex ensures only one goroutine constructs the family.
+func (b *BoundNodeRNG) bind(e *Engine, keys []uint64) *nodeStreams {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if s := b.binding.Load(); s != nil && s.e == e {
+		return s
+	}
+	s := &nodeStreams{e: e, rngs: make([]*RNG, e.N())}
+	nodeKeys := make([]uint64, len(keys)+1)
+	copy(nodeKeys, keys)
+	for i := range s.rngs {
+		nodeKeys[len(keys)] = uint64(i)
+		s.rngs[i] = e.RNG().Derive(nodeKeys...)
+	}
+	b.binding.Store(s)
+	return s
 }

@@ -1,0 +1,54 @@
+package glapsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// TestWorkerCountDifferential is the headline invariant of the fork-join
+// layer: for every registered policy, the full Series fingerprint must be
+// byte-identical between Workers=1 (fully sequential) and Workers=8
+// (explicit fan-out). CI also runs this under -race, which turns it into a
+// data-race check on every parallelized stage at once.
+func TestWorkerCountDifferential(t *testing.T) {
+	for _, p := range RegisteredPolicies() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			run := func(workers int) string {
+				x := Experiment{
+					PMs: 20, Ratio: 2, Rounds: 40, Seed: 7, Policy: p,
+					GLAP:    fastGLAP(),
+					Workers: workers,
+				}
+				res, err := Run(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := sha256.Sum256([]byte(serializeSeries(res)))
+				return hex.EncodeToString(sum[:])
+			}
+			seq, par := run(1), run(8)
+			if seq != par {
+				t.Fatalf("policy %s: Series fingerprint differs between Workers=1 (%s) and Workers=8 (%s)", p, seq, par)
+			}
+		})
+	}
+}
+
+// TestWorkerCountMatchesGolden ties the differential to the pinned golden:
+// the golden experiment run with explicit workers must still produce the
+// pinned fingerprint, so the default (auto) path and the parallel path are
+// the same simulation.
+func TestWorkerCountMatchesGolden(t *testing.T) {
+	x := goldenExperiment()
+	x.Workers = 8
+	res, err := Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(serializeSeries(res)))
+	if got := hex.EncodeToString(sum[:]); got != goldenSeriesHash {
+		t.Fatalf("golden fingerprint with Workers=8: got %s, want %s", got, goldenSeriesHash)
+	}
+}
