@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"github.com/glap-sim/glap/internal/glap"
+)
+
+// The `-exp learn` mode is a before/after comparison of the Algorithm-1
+// training kernels: "before" runs the retained pre-fusion reference
+// (materialised profile multiset, partition plus four O(P) subset scans per
+// iteration), "after" the fused zero-alloc kernel (precomputed weighted
+// profiles, O(1) duplication bookkeeping, one partition+aggregation pass,
+// incremental post-action states). Both kernels consume identically seeded
+// streams over identical profile sets, so the ns- and allocs-per-iteration
+// columns isolate kernel cost. Results are written to BENCH_learn.json.
+
+// learnBaseSizes are the base profile counts measured: a near-empty PM
+// pair, the evaluation clusters' typical collected set, and a dense one.
+var learnBaseSizes = []int{2, 4, 8, 16}
+
+type learnReport struct {
+	GOMAXPROCS int                     `json:"gomaxprocs"`
+	NumCPU     int                     `json:"num_cpu"`
+	Iters      int                     `json:"iters"`
+	Seed       uint64                  `json:"seed"`
+	Rows       []glap.LearnKernelStats `json:"rows"`
+	// SpeedupByBase maps base profile count to reference/fused ns ratio.
+	SpeedupByBase map[string]float64 `json:"speedup_by_base"`
+}
+
+// runLearn is the `-exp learn` mode.
+func runLearn(seed uint64, iters int, outPath string) {
+	rep := learnReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Iters:         iters,
+		Seed:          seed,
+		SpeedupByBase: map[string]float64{},
+	}
+	fmt.Printf("== learn: reference (pre-fusion) vs fused training kernel, %d iters ==\n", iters)
+	for _, base := range learnBaseSizes {
+		ref := glap.MeasureLearnKernel(true, base, iters, seed)
+		fused := glap.MeasureLearnKernel(false, base, iters, seed)
+		rep.Rows = append(rep.Rows, ref, fused)
+		speedup := ref.NsPerIter / fused.NsPerIter
+		rep.SpeedupByBase[fmt.Sprintf("%d", base)] = speedup
+		fmt.Printf("base=%-3d multiset=%-4d reference %8.0f ns/iter %7.2f allocs/iter %8.0f B/iter\n",
+			base, ref.MultisetLen, ref.NsPerIter, ref.AllocsPerIter, ref.BytesPerIter)
+		fmt.Printf("             fused     %8.0f ns/iter %7.2f allocs/iter %8.0f B/iter   %5.1fx\n",
+			fused.NsPerIter, fused.AllocsPerIter, fused.BytesPerIter, speedup)
+		// The MemStats delta can pick up stray runtime-internal allocations
+		// (GC bookkeeping), so only flag a per-iteration-scale signal; the
+		// exact zero-alloc gate is TestTrainOnceZeroAllocs.
+		if fused.AllocsPerIter > 0.01 {
+			fmt.Printf("             WARNING: fused kernel allocates in steady state\n")
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+}

@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), robust (async consolidation under loss × latency), or scale (per-stage wall time across cluster sizes and worker counts)")
+	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), robust (async consolidation under loss × latency), scale (per-stage wall time across cluster sizes and worker counts), or learn (fused vs reference training-kernel comparison)")
 	sizes := flag.String("sizes", "100", "comma-separated cluster sizes")
 	ratios := flag.String("ratios", "2,3,4", "comma-separated VM:PM ratios")
 	rounds := flag.Int("rounds", 240, "consolidation rounds (2 simulated minutes each)")
@@ -36,6 +36,8 @@ func main() {
 	drops := flag.String("drops", "0,0.1,0.2", "comma-separated message-loss probabilities for -exp robust")
 	lats := flag.String("lats", "1,30,90", "comma-separated one-way message latencies for -exp robust")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the -exp scale report")
+	learnOut := flag.String("learn-out", "BENCH_learn.json", "output path for the -exp learn report")
+	learnIters := flag.Int("learn-iters", 2_000_000, "training iterations per kernel measurement for -exp learn")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -91,6 +93,13 @@ func main() {
 
 	if want["scale"] {
 		runScale(*seed, *scaleOut)
+		if len(want) == 1 {
+			return
+		}
+	}
+
+	if want["learn"] {
+		runLearn(*seed, *learnIters, *learnOut)
 		if len(want) == 1 {
 			return
 		}

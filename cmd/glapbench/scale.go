@@ -44,6 +44,16 @@ type scaleRow struct {
 	MetricsSec       float64 `json:"metrics_sec"`
 	TotalSec         float64 `json:"total_sec"`
 
+	// PretrainAllocsPerIter and PretrainBytesPerIter are the heap
+	// allocations and bytes of the whole pretrain stage divided by the
+	// scheduled training iterations (PMs × learn rounds × LearnIterations)
+	// — the alloc budget of the paper's hot path. The numerator includes
+	// the stage's fixed costs (engine setup, Q-table backings, the
+	// aggregation rounds), so the steady-state inner loop is bounded above
+	// by — and with the zero-alloc kernel far below — these figures.
+	PretrainAllocsPerIter float64 `json:"pretrain_allocs_per_iter"`
+	PretrainBytesPerIter  float64 `json:"pretrain_bytes_per_iter"`
+
 	// PretrainSpeedup is this row's pretrain time relative to the same-size
 	// workers=1 row (1.0 for the sequential row itself).
 	PretrainSpeedup float64 `json:"pretrain_speedup"`
@@ -100,12 +110,21 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set) (scaleRow, error)
 	if err != nil {
 		return row, err
 	}
+	// Collect the previous cell's garbage now so its GC debt is not billed
+	// to this cell's timings (large-cell heaps run to hundreds of MB).
+	runtime.GC()
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	res, err := glap.Pretrain(cfg, pre, seed+2, opts)
 	if err != nil {
 		return row, err
 	}
 	row.PretrainSec = time.Since(start).Seconds()
+	runtime.ReadMemStats(&msAfter)
+	trainIters := float64(pms) * float64(scaleLearnRounds) * float64(glap.DefaultConfig().LearnIterations)
+	row.PretrainAllocsPerIter = float64(msAfter.Mallocs-msBefore.Mallocs) / trainIters
+	row.PretrainBytesPerIter = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / trainIters
 
 	tables, err := glap.SharedTables(res)
 	if err != nil {
@@ -190,8 +209,10 @@ func runScale(seed uint64, outPath string) {
 				log.Fatalf("scale: series hash diverged at pms=%d workers=%d", pms, wk)
 			}
 			rep.Rows = append(rep.Rows, row)
-			fmt.Printf("pms=%-5d workers=%-2d pretrain=%7.2fs (%.2fx) consolidation=%6.2fs metrics=%6.3fs hash=%s\n",
-				pms, wk, row.PretrainSec, row.PretrainSpeedup, row.ConsolidationSec, row.MetricsSec, row.SeriesHash[:12])
+			fmt.Printf("pms=%-5d workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs hash=%s\n",
+				pms, wk, row.PretrainSec, row.PretrainSpeedup,
+				row.PretrainAllocsPerIter, row.PretrainBytesPerIter,
+				row.ConsolidationSec, row.MetricsSec, row.SeriesHash[:12])
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

@@ -85,6 +85,17 @@ type Protocol struct {
 	ShuffleLen int
 
 	rng sim.BoundRNG
+
+	// scratch holds the per-shuffle request/reply/permutation buffers,
+	// reused across nodes and rounds so the steady-state shuffle allocates
+	// nothing. Safe because the protocol mutates peer views and therefore
+	// always runs its node pass sequentially (it does not implement
+	// sim.ParallelRound).
+	scratch struct {
+		req, reply []Entry
+		perm       []int
+		sent       []int
+	}
 }
 
 // rngFor returns the protocol's random stream for engine e, re-deriving it
@@ -156,9 +167,10 @@ func (c *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	}
 
 	// Build the request: self with age 0 plus up to ShuffleLen-1 random
-	// view entries.
-	req := []Entry{{Peer: n.ID, Age: 0}}
-	idx := rng.Perm(len(v.entries))
+	// view entries. Entries are copied by value into the reused scratch
+	// buffers, so later view mutations cannot alias them.
+	req := append(c.scratch.req[:0], Entry{Peer: n.ID, Age: 0})
+	idx := rng.PermInto(c.scratch.perm, len(v.entries))
 	for _, i := range idx {
 		if len(req) >= c.ShuffleLen {
 			break
@@ -169,14 +181,15 @@ func (c *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	// The passive side replies with up to ShuffleLen random entries and
 	// merges the request.
 	qv := viewOf(e, q)
-	var reply []Entry
-	qidx := rng.Perm(len(qv.entries))
+	reply := c.scratch.reply[:0]
+	qidx := rng.PermInto(idx, len(qv.entries))
 	for _, i := range qidx {
 		if len(reply) >= c.ShuffleLen {
 			break
 		}
 		reply = append(reply, qv.entries[i])
 	}
+	c.scratch.req, c.scratch.reply, c.scratch.perm = req, reply, qidx
 	c.merge(e, qv, q.ID, req, reply)
 	c.merge(e, v, n.ID, reply, req)
 	// Re-add the shuffle partner when space allows: without this, views in
@@ -189,11 +202,14 @@ func (c *Protocol) Round(e *sim.Engine, n *sim.Node, round int) {
 
 // merge folds received entries into view v (owned by self), preferring to
 // overwrite the entries that were sent away, never duplicating peers or
-// adding self, and keeping the freshest age for duplicates.
+// adding self, and keeping the freshest age for duplicates. The sent-away
+// membership lives in a reused slice rather than a map: shuffles exchange at
+// most ShuffleLen (typically 8) distinct peers, where a linear scan beats
+// map hashing and allocates nothing.
 func (c *Protocol) merge(e *sim.Engine, v *View, self int, received, sent []Entry) {
-	sentSet := make(map[int]bool, len(sent))
+	sentPeers := c.scratch.sent[:0]
 	for _, s := range sent {
-		sentSet[s.Peer] = true
+		sentPeers = append(sentPeers, s.Peer)
 	}
 	for _, r := range received {
 		if r.Peer == self || !e.Node(r.Peer).Up() {
@@ -210,8 +226,8 @@ func (c *Protocol) merge(e *sim.Engine, v *View, self int, received, sent []Entr
 			continue
 		}
 		// View full: first evict an entry we sent away, else the oldest.
-		if ei := firstIn(v.entries, sentSet); ei >= 0 {
-			delete(sentSet, v.entries[ei].Peer)
+		if ei := firstIn(v.entries, sentPeers); ei >= 0 {
+			sentPeers = removePeer(sentPeers, v.entries[ei].Peer)
 			v.entries[ei] = r
 			continue
 		}
@@ -219,6 +235,7 @@ func (c *Protocol) merge(e *sim.Engine, v *View, self int, received, sent []Entr
 			v.entries[oi] = r
 		}
 	}
+	c.scratch.sent = sentPeers
 }
 
 func indexOf(entries []Entry, peer int) int {
@@ -230,13 +247,27 @@ func indexOf(entries []Entry, peer int) int {
 	return -1
 }
 
-func firstIn(entries []Entry, set map[int]bool) int {
+func firstIn(entries []Entry, sent []int) int {
 	for i, e := range entries {
-		if set[e.Peer] {
-			return i
+		for _, p := range sent {
+			if e.Peer == p {
+				return i
+			}
 		}
 	}
 	return -1
+}
+
+// removePeer deletes one occurrence of peer from the sent list. Order is
+// irrelevant — the list is only ever a membership set — so it swap-deletes.
+func removePeer(sent []int, peer int) []int {
+	for i, p := range sent {
+		if p == peer {
+			sent[i] = sent[len(sent)-1]
+			return sent[:len(sent)-1]
+		}
+	}
+	return sent
 }
 
 // SelectPeer returns a uniformly random live peer from n's view, removing

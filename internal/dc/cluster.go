@@ -110,12 +110,21 @@ func (p *PM) NumVMs() int { return len(p.vms) }
 // VMIDs returns the hosted VM ids in ascending order. The copy is the
 // caller's to keep.
 func (p *PM) VMIDs() []int {
-	ids := make([]int, 0, len(p.vms))
+	return p.AppendVMIDs(make([]int, 0, len(p.vms)))
+}
+
+// AppendVMIDs appends the hosted VM ids in ascending order to dst and
+// returns the extended slice. Callers on a hot path pass a reused buffer
+// (typically dst[:0]) so the collection allocates nothing once the buffer
+// has grown to the high-water VM count — the learning kernel walks two PMs'
+// VM sets every training round and must not build garbage doing so.
+func (p *PM) AppendVMIDs(dst []int) []int {
+	start := len(dst)
 	for id := range p.vms {
-		ids = append(ids, id)
+		dst = append(dst, id)
 	}
-	sort.Ints(ids)
-	return ids
+	sort.Ints(dst[start:])
+	return dst
 }
 
 // ActiveSeconds returns total powered-on time (T_a in Eq. 1).

@@ -116,6 +116,71 @@ func BenchmarkIOFlat(b *testing.B) {
 	}
 }
 
+// BenchmarkTrainOnce measures one fused simulated-migration training
+// iteration — Algorithm 1's inner loop — over a typical collected profile
+// set. The fused kernel must run allocation-free in steady state; CI runs
+// this bench with -benchmem and TestTrainOnceZeroAllocs pins the invariant.
+func BenchmarkTrainOnce(b *testing.B) {
+	cfg := DefaultConfig()
+	l := &LearnProtocol{Cfg: cfg}
+	st := &NodeTables{Out: qlearn.New(cfg.Alpha, cfg.Gamma), In: qlearn.New(cfg.Alpha, cfg.Gamma)}
+	sc := &st.scratch
+	for _, p := range benchProfiles(6, 11) {
+		sc.base = append(sc.base, profileToKernel(p))
+	}
+	sc.total = coverCount(sc.base, benchCapacity[dc.CPU], cfg.DuplicationTargetUtil)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 64; i++ {
+		l.trainOnce(rng, st, sc, benchCapacity)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.trainOnce(rng, st, sc, benchCapacity)
+	}
+}
+
+// BenchmarkTrainOnceReference is the retained pre-fusion baseline for
+// BenchmarkTrainOnce: materialised multiset, partition into an allocated
+// subset slice, four O(P) subset scans per iteration.
+func BenchmarkTrainOnceReference(b *testing.B) {
+	cfg := DefaultConfig()
+	l := &LearnProtocol{Cfg: cfg}
+	st := &NodeTables{Out: qlearn.New(cfg.Alpha, cfg.Gamma), In: qlearn.New(cfg.Alpha, cfg.Gamma)}
+	dup := duplicateToCover(benchProfiles(6, 11), benchCapacity, cfg.DuplicationTargetUtil)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 64; i++ {
+		l.refTrainOnce(rng, st, dup, benchCapacity)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.refTrainOnce(rng, st, dup, benchCapacity)
+	}
+}
+
+// TestTrainOnceZeroAllocs pins the fused kernel's steady-state allocation
+// count at exactly zero — the regression guard behind BenchmarkTrainOnce.
+func TestTrainOnceZeroAllocs(t *testing.T) {
+	cfg := DefaultConfig()
+	l := &LearnProtocol{Cfg: cfg}
+	st := &NodeTables{Out: qlearn.New(cfg.Alpha, cfg.Gamma), In: qlearn.New(cfg.Alpha, cfg.Gamma)}
+	sc := &st.scratch
+	for _, p := range benchProfiles(6, 11) {
+		sc.base = append(sc.base, profileToKernel(p))
+	}
+	sc.total = coverCount(sc.base, benchCapacity[dc.CPU], cfg.DuplicationTargetUtil)
+	rng := sim.NewRNG(3)
+	for i := 0; i < 64; i++ {
+		l.trainOnce(rng, st, sc, benchCapacity)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		l.trainOnce(rng, st, sc, benchCapacity)
+	}); n != 0 {
+		t.Fatalf("fused trainOnce allocates %v times per iteration; want 0", n)
+	}
+}
+
 func BenchmarkLevelOf(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = LevelOf(float64(i%100) / 100)

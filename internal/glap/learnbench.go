@@ -1,0 +1,115 @@
+package glap
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/glap-sim/glap/internal/dc"
+	"github.com/glap-sim/glap/internal/qlearn"
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// LearnKernelStats reports the measured cost of one simulated-migration
+// training iteration (Algorithm 1's inner loop) for one kernel.
+type LearnKernelStats struct {
+	// Kernel is "reference" (pre-fusion multiset materialisation + four
+	// subset scans) or "fused" (single-pass zero-alloc kernel).
+	Kernel string `json:"kernel"`
+	// BaseVMs is the collected base profile count before duplication.
+	BaseVMs int `json:"base_vms"`
+	// MultisetLen is the duplicated multiset size the iteration sweeps.
+	MultisetLen int `json:"multiset_len"`
+	// Iters is the number of measured training iterations.
+	Iters int `json:"iters"`
+
+	NsPerIter     float64 `json:"ns_per_iter"`
+	AllocsPerIter float64 `json:"allocs_per_iter"`
+	BytesPerIter  float64 `json:"bytes_per_iter"`
+}
+
+// benchProfiles synthesises a deterministic base profile set whose demands
+// span the calibrated level range, against the given PM capacity.
+func benchProfiles(baseVMs int, seed uint64) []profile {
+	rng := sim.NewRNG(seed)
+	ps := make([]profile, baseVMs)
+	for i := range ps {
+		var cur, avg dc.Vec
+		for r := 0; r < dc.NumResources; r++ {
+			avg[r] = 0.05 + 0.6*rng.Float64()
+			cur[r] = 0.05 + 0.6*rng.Float64()
+		}
+		ps[i] = profile{cur: cur, avg: avg, cap: dc.Vec{500, 613}}
+	}
+	return ps
+}
+
+// benchCapacity is the PM capacity the synthetic kernel benchmark trains
+// against (one PM hosting small-spec VMs, as in the evaluation clusters).
+var benchCapacity = dc.Vec{2660, 4096}
+
+// MeasureLearnKernel times iters training iterations of the chosen kernel
+// (reference=true selects the retired pre-fusion implementation) over a
+// synthetic base set of baseVMs profiles duplicated to the default coverage
+// target, and reports ns, heap allocations and heap bytes per iteration.
+// Both kernels are driven from identically seeded streams over identical
+// profile sets, so the comparison isolates kernel cost.
+func MeasureLearnKernel(reference bool, baseVMs, iters int, seed uint64) LearnKernelStats {
+	cfg := DefaultConfig()
+	l := &LearnProtocol{Cfg: cfg}
+	st := &NodeTables{
+		Out: qlearn.New(cfg.Alpha, cfg.Gamma),
+		In:  qlearn.New(cfg.Alpha, cfg.Gamma),
+	}
+	ps := benchProfiles(baseVMs, seed)
+	rng := sim.NewRNG(seed + 1)
+
+	stats := LearnKernelStats{Kernel: "fused", BaseVMs: baseVMs, Iters: iters}
+	var run func()
+	if reference {
+		stats.Kernel = "reference"
+		dup := duplicateToCover(append([]profile(nil), ps...), benchCapacity, cfg.DuplicationTargetUtil)
+		stats.MultisetLen = len(dup)
+		run = func() { l.refTrainOnce(rng, st, dup, benchCapacity) }
+	} else {
+		sc := &st.scratch
+		for i := range ps {
+			sc.base = append(sc.base, profileToKernel(ps[i]))
+		}
+		sc.total = coverCount(sc.base, benchCapacity[dc.CPU], cfg.DuplicationTargetUtil)
+		stats.MultisetLen = sc.total
+		run = func() { l.trainOnce(rng, st, sc, benchCapacity) }
+	}
+
+	// Warm up: settle table backings and scratch capacities, then measure
+	// wall time and heap traffic across the iteration loop.
+	for i := 0; i < 64; i++ {
+		run()
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		run()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	stats.NsPerIter = float64(elapsed.Nanoseconds()) / float64(iters)
+	stats.AllocsPerIter = float64(after.Mallocs-before.Mallocs) / float64(iters)
+	stats.BytesPerIter = float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+	return stats
+}
+
+// profileToKernel converts a reference profile into the fused kernel's
+// precomputed form — the same precomputation appendKernelProfile applies
+// when collecting live VMs.
+func profileToKernel(p profile) kernelProfile {
+	var k kernelProfile
+	for r := 0; r < dc.NumResources; r++ {
+		k.wAvg[r] = p.avg[r] * p.cap[r]
+		k.wCur[r] = p.cur[r] * p.cap[r]
+	}
+	k.actAvg = LevelsOf(p.avg).Action()
+	k.actCur = LevelsOf(p.cur).Action()
+	return k
+}

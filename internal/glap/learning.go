@@ -26,10 +26,16 @@ type NodeTables struct {
 	// Convergence measurement samples it every measured round, so the
 	// buffer is kept across samples instead of building a map each time.
 	ioVec []float64
+
+	// scratch holds the node's reusable training buffers. Keeping them in
+	// the per-node store (rather than on the protocol) preserves the
+	// ParallelRound contract: a training round touches nothing but state
+	// owned by its node.
+	scratch learnScratch
 }
 
-// Clone deep-copies the store. The scratch IOVec buffer is not carried
-// over; the clone refills its own on first use.
+// Clone deep-copies the store. The scratch buffers (IOVec, training
+// scratch) are not carried over; the clone refills its own on first use.
 func (t *NodeTables) Clone() *NodeTables {
 	return &NodeTables{Out: t.Out.Clone(), In: t.In.Clone(), Trained: t.Trained}
 }
@@ -79,7 +85,9 @@ type IOKey struct {
 }
 
 // profile is a VM workload profile exchanged during the learning phase:
-// current and average demand fractions plus the VM's nominal capacity.
+// current and average demand fractions plus the VM's nominal capacity. The
+// fused kernel works on the precomputed kernelProfile form; profile remains
+// the reference kernel's (and the paper's) exchange unit.
 type profile struct {
 	cur, avg dc.Vec
 	cap      dc.Vec
@@ -87,6 +95,53 @@ type profile struct {
 
 func profileOf(vm *dc.VM) profile {
 	return profile{cur: vm.CurDemand(), avg: vm.AvgDemand(), cap: vm.Spec.Capacity}
+}
+
+// kernelProfile is one collected VM profile in the fused kernel's
+// representation: the demand fractions pre-multiplied by the VM's capacity
+// (the only form the aggregation ever needs) and the VM's calibrated action
+// under both demand signals. Everything trainOnce touches per multiset
+// element is precomputed here once per round.
+type kernelProfile struct {
+	// wAvg and wCur are the weighted demand vectors avg·cap and cur·cap.
+	wAvg, wCur dc.Vec
+	// actAvg and actCur are the VM's calibrated migration action from
+	// average and current demand respectively (the CurrentDemandOnly
+	// ablation switches between them).
+	actAvg, actCur qlearn.Action
+}
+
+// learnScratch is a node's reusable training state. The duplicated profile
+// multiset of Algorithm 1 is represented as the base profiles plus a total
+// repeat count: multiset element k is base[k mod len(base)], because
+// duplication appends the base profiles cyclically. Duplication is thereby
+// O(1) space bookkeeping instead of slice inflation (the reference kernel
+// materialises up to 64× the base set).
+type learnScratch struct {
+	// ids is the VM-id collection buffer fed to dc.PM.AppendVMIDs.
+	ids []int
+	// base holds the collected profiles (own VMs then peer VMs, each in
+	// ascending VM-ID order — the same order the reference kernel collects).
+	base []kernelProfile
+	// total is the multiset size after duplication (≥ len(base)).
+	total int
+	// sender is trainOnce's sender-partition buffer: multiset indices, kept
+	// across iterations and rounds so steady-state training allocates
+	// nothing.
+	sender []int32
+}
+
+// appendKernelProfile collects vm into the scratch base set.
+func appendKernelProfile(dst []kernelProfile, vm *dc.VM) []kernelProfile {
+	cur, avg, cp := vm.CurDemand(), vm.AvgDemand(), vm.Spec.Capacity
+	var k kernelProfile
+	for r := 0; r < dc.NumResources; r++ {
+		k.wAvg[r] = avg[r] * cp[r]
+		k.wCur[r] = cur[r] * cp[r]
+	}
+	k.actAvg = LevelsOf(avg).Action()
+	k.actCur = LevelsOf(cur).Action()
+	return append(dst, k)
 }
 
 // LearnProtocol is Algorithm 1: within each learning round, every PM whose
@@ -98,6 +153,12 @@ type LearnProtocol struct {
 	Cfg Config
 	B   *policy.Binding
 
+	// Reference selects the retired pre-fusion kernel (kept, like
+	// qlearn.Sparse, as a differential baseline — see learnref.go). Both
+	// kernels draw the identical random sequence, so a Reference run is
+	// comparable draw-for-draw with a fused run.
+	Reference bool
+
 	rng sim.BoundNodeRNG
 }
 
@@ -105,10 +166,11 @@ type LearnProtocol struct {
 func (l *LearnProtocol) Name() string { return LearnProtocolName }
 
 // Parallelizable implements sim.ParallelRound: Round only writes the active
-// node's own Q store, its own cyclon view, and its own derived random
-// stream; peers and the cluster are read-only. That makes the learning phase
-// — the paper's "700 more rounds" of pre-training — safe to fan out across
-// the engine's workers with byte-identical results for any worker count.
+// node's own Q store (including its node-local training scratch), its own
+// cyclon view, and its own derived random stream; peers and the cluster are
+// read-only. That makes the learning phase — the paper's "700 more rounds"
+// of pre-training — safe to fan out across the engine's workers with
+// byte-identical results for any worker count.
 func (l *LearnProtocol) Parallelizable() bool { return true }
 
 // Setup creates the node's empty Q store.
@@ -127,6 +189,11 @@ func TablesOf(e *sim.Engine, n *sim.Node) *NodeTables {
 // Round implements one local training round (Algorithm 1 body). Each node
 // draws from its own derived stream — a prerequisite of the ParallelRound
 // contract, and what keeps training independent of node visit order.
+//
+// The round is allocation-free in steady state: profile collection refills
+// the node's scratch buffers instead of rebuilding slices from nil,
+// duplication computes a repeat count instead of materialising copies, and
+// the training iterations run the fused single-pass kernel below.
 func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	rng := l.rng.For(e, n.ID, 0x61ea51)
 	c := l.B.C
@@ -135,125 +202,151 @@ func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	if c.AvgUtil(pm)[dc.CPU] > l.Cfg.LearnUtilThreshold {
 		return
 	}
+	if l.Reference {
+		l.roundReference(e, n, rng, pm)
+		return
+	}
 
-	// Collect profiles: local VMs plus the VMs of one random neighbour.
-	var profiles []profile
-	for _, vm := range l.B.VMsOf(pm) {
-		profiles = append(profiles, profileOf(vm))
+	st := TablesOf(e, n)
+	sc := &st.scratch
+
+	// Collect profiles: local VMs plus the VMs of one random neighbour,
+	// each set in ascending VM-ID order.
+	sc.base = sc.base[:0]
+	sc.ids = pm.AppendVMIDs(sc.ids[:0])
+	for _, id := range sc.ids {
+		sc.base = appendKernelProfile(sc.base, c.VMs[id])
 	}
 	if peer := cyclon.SelectPeer(e, n, rng); peer >= 0 {
-		for _, vm := range l.B.VMsOf(c.PMs[peer]) {
-			profiles = append(profiles, profileOf(vm))
+		sc.ids = c.PMs[peer].AppendVMIDs(sc.ids[:0])
+		for _, id := range sc.ids {
+			sc.base = appendKernelProfile(sc.base, c.VMs[id])
 		}
 	}
-	if len(profiles) == 0 {
+	if len(sc.base) == 0 {
 		return
 	}
 
 	// Duplicate profiles until the aggregate average CPU demand reaches
 	// DuplicationTargetUtil of PM capacity so that high and overloaded
-	// states are visited during training.
-	profiles = duplicateToCover(profiles, pm.Spec.Capacity, l.Cfg.DuplicationTargetUtil)
+	// states are visited during training. Only the multiset size is
+	// computed; elements are addressed as base[k mod len(base)].
+	sc.total = coverCount(sc.base, pm.Spec.Capacity[dc.CPU], l.Cfg.DuplicationTargetUtil)
 
-	st := TablesOf(e, n)
 	for it := 0; it < l.Cfg.LearnIterations; it++ {
-		l.trainOnce(rng, st, profiles, pm.Spec.Capacity)
+		l.trainOnce(rng, st, sc, pm.Spec.Capacity)
 	}
 	st.Trained = true
 }
 
-// duplicateToCover replicates the profile set until its aggregate average
-// CPU demand reaches target × capacity.
-func duplicateToCover(ps []profile, cap dc.Vec, target float64) []profile {
-	sumCPU := 0.0
-	for _, p := range ps {
-		sumCPU += p.avg[dc.CPU] * p.cap[dc.CPU]
+// coverCount returns the size of the duplicated profile multiset: the base
+// profiles followed by cyclic repeats until the running aggregate average
+// CPU demand reaches target × capacity, capped at 64× the base size. The
+// running sum replays the reference duplicateToCover's accumulation order
+// exactly (float addition is order-sensitive), so the count matches the
+// reference kernel's materialised length element-for-element.
+func coverCount(base []kernelProfile, capCPU, target float64) int {
+	sum := 0.0
+	for i := range base {
+		sum += base[i].wAvg[dc.CPU]
 	}
-	if sumCPU <= 0 {
-		return ps
+	if sum <= 0 {
+		return len(base)
 	}
-	base := len(ps)
-	for sumCPU < target*cap[dc.CPU] && len(ps) < 64*base {
-		for i := 0; i < base && sumCPU < target*cap[dc.CPU]; i++ {
-			ps = append(ps, ps[i])
-			sumCPU += ps[i].avg[dc.CPU] * ps[i].cap[dc.CPU]
+	n, limit, maxN := len(base), target*capCPU, 64*len(base)
+	for sum < limit && n < maxN {
+		for i := 0; i < len(base) && sum < limit; i++ {
+			sum += base[i].wAvg[dc.CPU]
+			n++
 		}
 	}
-	return ps
+	return n
 }
 
-// trainOnce performs one simulated migration: partition the profiles into a
-// virtual sender and a virtual recipient, move one random sender VM, and
-// apply updateOUT / updateIN per Equation 1. Pre-action states use average
-// demand; post-action states use current demand (Figure 3).
-func (l *LearnProtocol) trainOnce(rng *sim.RNG, st *NodeTables, profiles []profile, cap dc.Vec) {
+// trainOnce performs one simulated migration: partition the profile multiset
+// into a virtual sender and a virtual recipient, move one random sender VM,
+// and apply updateOUT / updateIN per Equation 1. Pre-action states use
+// average demand; post-action states use current demand (Figure 3).
+//
+// Partition and aggregation are fused into a single pass: every multiset
+// element draws its Bernoulli coin (the same sequence the reference kernel
+// draws) and immediately folds its weighted average- and current-demand
+// vectors into the sender or recipient accumulators, replacing the
+// reference kernel's partition plus four O(P) subset scans. Post-action
+// states derive incrementally: sAfter is the sender's current-demand sum
+// minus the evicted VM, tAfter the recipient's sum plus it. Only the sender
+// indices are materialised (the eviction pick needs them); the recipient
+// partition exists solely as its sums.
+func (l *LearnProtocol) trainOnce(rng *sim.RNG, st *NodeTables, sc *learnScratch, cap dc.Vec) {
+	base := sc.base
+	nb := len(base)
 	// Random partition with a freshly drawn split bias per iteration so
 	// the virtual recipient's pre-state sweeps the whole load range — from
 	// nearly empty to beyond capacity — and the high states that matter
 	// for rejection decisions are actually visited during training.
-	var sender, target []int
 	pSender := 0.15 + 0.7*rng.Float64()
+	sender := sc.sender[:0]
+	var sAvg, sCur, tAvg, tCur dc.Vec
 	for attempt := 0; attempt < 8; attempt++ {
-		sender, target = sender[:0], target[:0]
-		for i := range profiles {
+		sender = sender[:0]
+		sAvg, sCur, tAvg, tCur = dc.Vec{}, dc.Vec{}, dc.Vec{}, dc.Vec{}
+		j := 0
+		for k := 0; k < sc.total; k++ {
+			p := &base[j]
+			if j++; j == nb {
+				j = 0
+			}
 			if rng.Bernoulli(pSender) {
-				sender = append(sender, i)
+				sender = append(sender, int32(k))
+				for r := 0; r < dc.NumResources; r++ {
+					sAvg[r] += p.wAvg[r]
+					sCur[r] += p.wCur[r]
+				}
 			} else {
-				target = append(target, i)
+				for r := 0; r < dc.NumResources; r++ {
+					tAvg[r] += p.wAvg[r]
+					tCur[r] += p.wCur[r]
+				}
 			}
 		}
 		if len(sender) > 0 {
 			break
 		}
 	}
+	sc.sender = sender // keep the grown buffer for the next iteration
 	if len(sender) == 0 {
 		return
 	}
-	pick := sender[rng.Intn(len(sender))]
-	vm := profiles[pick]
+	// An all-sender draw leaves the recipient partition empty; training
+	// proceeds regardless — an empty virtual recipient is the legitimate
+	// (Low, Low) pre-state of an idle PM, and φ^in needs those transitions
+	// (see TestTrainOncePartitionRetry for the characterisation).
+	pick := int(sender[rng.Intn(len(sender))])
+	p := &base[pick%nb]
 	useAvg := !l.Cfg.CurrentDemandOnly
-	actionDemand := vm.avg
+	action := p.actAvg
 	if !useAvg {
-		actionDemand = vm.cur
+		action = p.actCur
 	}
-	action := LevelsOf(actionDemand).Action()
 
-	// updateOUT: the sender's transition after evicting vm.
-	sBefore := aggStateIdx(profiles, sender, -1, nil, cap, useAvg)
-	sAfter := aggStateIdx(profiles, sender, pick, nil, cap, false)
-	l.updateOut(st.Out, sBefore, action, sAfter)
+	// updateOUT: the sender's transition after evicting the picked VM.
+	sBefore := sAvg
+	if !useAvg {
+		sBefore = sCur
+	}
+	l.updateOut(st.Out, stateOfSum(sBefore, cap), action, stateOfSum(sCur.Sub(p.wCur), cap))
 
-	// updateIN: the recipient's transition after accepting vm.
-	tBefore := aggStateIdx(profiles, target, -1, nil, cap, useAvg)
-	tAfter := aggStateIdx(profiles, target, -1, &vm, cap, false)
-	l.updateIn(st.In, tBefore, action, tAfter)
+	// updateIN: the recipient's transition after accepting it.
+	tBefore := tAvg
+	if !useAvg {
+		tBefore = tCur
+	}
+	l.updateIn(st.In, stateOfSum(tBefore, cap), action, stateOfSum(tCur.Add(p.wCur), cap))
 }
 
-// aggStateIdx aggregates profiles[idx] for idx in subset (skipping skip),
-// plus extra, into a calibrated state.
-func aggStateIdx(profiles []profile, subset []int, skip int, extra *profile, cap dc.Vec, useAvg bool) qlearn.State {
-	var sum dc.Vec
-	for _, i := range subset {
-		if i == skip {
-			continue
-		}
-		d := profiles[i].cur
-		if useAvg {
-			d = profiles[i].avg
-		}
-		for r := 0; r < dc.NumResources; r++ {
-			sum[r] += d[r] * profiles[i].cap[r]
-		}
-	}
-	if extra != nil {
-		d := extra.cur
-		if useAvg {
-			d = extra.avg
-		}
-		for r := 0; r < dc.NumResources; r++ {
-			sum[r] += d[r] * extra.cap[r]
-		}
-	}
+// stateOfSum calibrates an aggregate absolute demand vector against a PM
+// capacity.
+func stateOfSum(sum, cap dc.Vec) qlearn.State {
 	return LevelsOf(sum.Div(cap)).State()
 }
 

@@ -59,28 +59,37 @@ func (l Level) String() string {
 
 // LevelOf calibrates a utilisation fraction onto the nine-level scale using
 // the thresholds of Section IV-A. Utilisation at or above capacity maps to
-// Overload.
+// Overload. The comparison tree evaluates at most four of the boundaries
+// (the linear chain averaged five with poorly predicted branches — this
+// runs four times per training iteration and once per PM/VM state read in
+// consolidation); every boundary keeps the exact constant and operator of
+// the paper's calibration, so results are bit-identical to the chain.
 func LevelOf(x float64) Level {
-	switch {
-	case x <= 0.2:
-		return Low
-	case x <= 0.4:
-		return Medium
-	case x <= 0.5:
+	if x <= 0.5 {
+		if x <= 0.2 {
+			return Low
+		}
+		if x <= 0.4 {
+			return Medium
+		}
 		return High
-	case x <= 0.6:
-		return XHigh
-	case x <= 0.7:
-		return X2High
-	case x <= 0.8:
-		return X3High
-	case x <= 0.9:
-		return X4High
-	case x < 1:
-		return X5High
-	default:
-		return Overload
 	}
+	if x <= 0.7 {
+		if x <= 0.6 {
+			return XHigh
+		}
+		return X2High
+	}
+	if x <= 0.9 {
+		if x <= 0.8 {
+			return X3High
+		}
+		return X4High
+	}
+	if x < 1 {
+		return X5High
+	}
+	return Overload
 }
 
 // Levels is a calibrated multi-resource load state: one Level per resource.

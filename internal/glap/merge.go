@@ -14,17 +14,14 @@ import (
 // push/reply pair equals one synchronous exchange.
 
 // MergeTables runs one synchronous pairwise merge of Algorithm 2's UPDATE
-// on two live stores: both endpoints end up with the unified tables. The
-// merge is skipped when the stores already agree: Equal exits on the first
-// differing cell, so this is cheap before convergence and turns the
-// (frequent) post-convergence exchanges into no-ops.
+// on two live stores: both endpoints end up with the unified tables.
+// qlearn.Merge makes the exchange one scan whether or not the stores still
+// differ, writing only cells that change — near and past convergence (the
+// common regime late in the aggregation phase) the pass leaves both tables'
+// memory untouched.
 func MergeTables(p, q *NodeTables) {
-	if !qlearn.Equal(p.Out, q.Out) {
-		qlearn.Unify(p.Out, q.Out)
-	}
-	if !qlearn.Equal(p.In, q.In) {
-		qlearn.Unify(p.In, q.In)
-	}
+	qlearn.Merge(p.Out, q.Out)
+	qlearn.Merge(p.In, q.In)
 }
 
 // TableSnapshot carries one endpoint's φ^io cells — the wire form of the

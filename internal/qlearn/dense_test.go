@@ -250,3 +250,74 @@ func TestFillDense(t *testing.T) {
 		t.Fatalf("%d nonzero cells", nonzero)
 	}
 }
+
+// TestMergeMatchesUnify pins Merge against the Equal-then-Unify composition
+// it replaced on the aggregation hot path: identical post-merge tables,
+// a change report that matches what Equal would have said, and a MaxKnown
+// landscape (i.e. rowMax cache state) indistinguishable from Unify's.
+func TestMergeMatchesUnify(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		p, q := randomTable(rng, rng.Float64()), randomTable(rng, rng.Float64())
+		if trial%4 == 0 {
+			Unify(p, q) // exercise the already-equal (no-op) regime too
+		}
+		pu, qu := p.Clone(), q.Clone()
+
+		wasEqual := Equal(pu, qu)
+		if !wasEqual {
+			Unify(pu, qu)
+		}
+		changed := Merge(p, q)
+
+		if changed == wasEqual {
+			t.Fatalf("trial %d: Merge reported changed=%v, Equal said %v", trial, changed, wasEqual)
+		}
+		if !Equal(p, pu) || !Equal(q, qu) || !Equal(p, q) {
+			t.Fatalf("trial %d: Merge result differs from Equal+Unify", trial)
+		}
+		// Warm some rowMax entries before and read all after, so a stale
+		// cache surviving a changing merge would surface here.
+		for s := State(0); s < 81; s++ {
+			if p.MaxKnown(s) != pu.MaxKnown(s) || q.MaxKnown(s) != qu.MaxKnown(s) {
+				t.Fatalf("trial %d: MaxKnown(%d) diverged after Merge", trial, s)
+			}
+		}
+	}
+}
+
+// TestMergeMisalignedBackings exercises Merge's slow path: tables grown to
+// different dimensions must still end up unified and equal.
+func TestMergeMisalignedBackings(t *testing.T) {
+	p := New(0.5, 0.8)
+	p.Set(1, 1, 2)
+	p.Set(200, 300, 7) // grown past the calibrated span
+	q := New(0.5, 0.8)
+	q.Set(1, 1, 4)
+	q.Set(3, 4, -1)
+	if !Merge(p, q) {
+		t.Fatal("differing tables: Merge must report a change")
+	}
+	if !Equal(p, q) || p.Get(1, 1) != 3 || q.Get(200, 300) != 7 || p.Get(3, 4) != -1 {
+		t.Fatal("Merge across different dimensions broken")
+	}
+	if Merge(p, q) {
+		t.Fatal("second Merge of equal tables must be a no-op")
+	}
+}
+
+// TestMergeAllocFree extends the steady-state guarantee to Merge.
+func TestMergeAllocFree(t *testing.T) {
+	p, q := New(0.5, 0.8), New(0.5, 0.8)
+	p.Set(1, 2, 3)
+	q.Set(4, 5, 6)
+	Unify(p, q)
+	run := 0.0
+	if allocs := testing.AllocsPerRun(100, func() {
+		q.Set(7, 8, run) // keep the pair unequal so Merge does real work
+		run++
+		Merge(p, q)
+	}); allocs != 0 {
+		t.Fatalf("Merge allocates %g objects/op in steady state", allocs)
+	}
+}

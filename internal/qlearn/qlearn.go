@@ -21,6 +21,7 @@ package qlearn
 
 import (
 	"fmt"
+	"math"
 	"math/bits"
 )
 
@@ -60,6 +61,14 @@ type Table struct {
 	q          []float64 // len numS*numA; unwritten cells hold 0
 	mask       []uint64  // presence bitset over cell indices
 	n          int       // number of written cells
+
+	// rowMax caches MaxKnown per state (NaN = stale). Equation 1 computes
+	// the max over the next state's row on every training update; the
+	// cache turns that from a row scan into a load for the overwhelmingly
+	// common case where updates raise values or miss the row maximum. Set
+	// maintains it incrementally and invalidates a row conservatively when
+	// its maximum may have dropped; Unify and grow invalidate wholesale.
+	rowMax []float64
 }
 
 // New returns an empty table with the given learning rate and discount. The
@@ -113,7 +122,27 @@ func (t *Table) Set(s State, a Action, v float64) {
 		t.mask[w] |= b
 		t.n++
 	}
+	if rm := t.rowMax[si]; rm == rm { // cache valid (not NaN)
+		switch {
+		case v > rm:
+			t.rowMax[si] = v
+		case v < rm && t.q[i] == rm:
+			// The overwritten cell may have been the row maximum (or an
+			// unwritten cell reading as the cached 0 of an empty row);
+			// recompute lazily on the next MaxKnown.
+			t.rowMax[si] = nan
+		}
+	}
 	t.q[i] = v
+}
+
+var nan = math.NaN()
+
+// invalidateRowMax marks every cached row maximum stale.
+func (t *Table) invalidateRowMax() {
+	for i := range t.rowMax {
+		t.rowMax[i] = nan
+	}
 }
 
 // roundDim picks the grown size for one dimension: at least DenseSpan, then
@@ -151,6 +180,8 @@ func (t *Table) grow(ns, na int) {
 		mask[j>>6] |= 1 << uint(j&63)
 	}
 	t.numS, t.numA, t.q, t.mask = ns, na, q, mask
+	t.rowMax = make([]float64, ns)
+	t.invalidateRowMax()
 }
 
 // presentIndices returns the raw cell indices of all written cells in
@@ -165,49 +196,41 @@ func (t *Table) presentIndices() []int {
 	return out
 }
 
-// nextPresent returns the index of the first written cell in [from, to), or
-// -1 when none exists.
-func (t *Table) nextPresent(from, to int) int {
-	if from >= to {
-		return -1
-	}
-	w := from >> 6
-	word := t.mask[w] &^ (1<<uint(from&63) - 1)
-	for {
-		if word != 0 {
-			if i := w<<6 + bits.TrailingZeros64(word); i < to {
-				return i
-			}
-			return -1
-		}
-		w++
-		if w<<6 >= to {
-			return -1
-		}
-		word = t.mask[w]
-	}
-}
-
 // MaxKnown returns the largest Q-value recorded for state s, or 0 when the
 // state has never been visited (the bootstrap value for unseen states).
-// best seeds from the first written cell of the row, so no emptiness flag
-// is threaded through the scan.
+// The row's presence words are walked exactly once, with the first and last
+// word trimmed to the row bounds — this sits inside Equation 1's hot path
+// (one call per training update), where the former per-cell nextPresent
+// scan re-read and re-masked the same words repeatedly.
 func (t *Table) MaxKnown(s State) float64 {
 	si := int(s)
 	if si >= t.numS {
 		return 0
 	}
-	lo, hi := si*t.numA, (si+1)*t.numA
-	i := t.nextPresent(lo, hi)
-	if i < 0 {
-		return 0
+	if rm := t.rowMax[si]; rm == rm {
+		return rm
 	}
-	best := t.q[i]
-	for i = t.nextPresent(i+1, hi); i >= 0; i = t.nextPresent(i+1, hi) {
-		if v := t.q[i]; v > best {
-			best = v
+	lo, hi := si*t.numA, (si+1)*t.numA
+	best, found := 0.0, false
+	for w := lo >> 6; w <= (hi-1)>>6; w++ {
+		word := t.mask[w]
+		if word == 0 {
+			continue
+		}
+		base := w << 6
+		if base < lo {
+			word &^= 1<<uint(lo-base) - 1
+		}
+		if base+64 > hi {
+			word &= 1<<uint(hi-base) - 1
+		}
+		for b := word; b != 0; b &= b - 1 {
+			if v := t.q[base+bits.TrailingZeros64(b)]; !found || v > best {
+				best, found = v, true
+			}
 		}
 	}
+	t.rowMax[si] = best
 	return best
 }
 
@@ -298,6 +321,8 @@ func (t *Table) Clone() *Table {
 		copy(c.q, t.q)
 		c.mask = make([]uint64, len(t.mask))
 		copy(c.mask, t.mask)
+		c.rowMax = make([]float64, len(t.rowMax))
+		copy(c.rowMax, t.rowMax)
 	}
 	return c
 }
@@ -348,6 +373,68 @@ func Unify(p, q *Table) {
 		n += bits.OnesCount64(u)
 	}
 	p.n, q.n = n, n
+	// Averaging and adoption rewrite cells behind Set's back; drop both
+	// caches rather than track maxima through the merge.
+	p.invalidateRowMax()
+	q.invalidateRowMax()
+}
+
+// Merge is Unify fused with the change check: one pass that averages and
+// adopts exactly like Unify but writes a cell only when its value actually
+// changes, and reports whether anything did. Callers that previously ran
+// Equal-then-Unify paid two nearly-full scans per exchange once gossip
+// neared convergence (Equal fails late, then Unify rewrites everything);
+// Merge keeps the single-scan cost bound and leaves already-agreeing cells'
+// cachelines clean. Post-merge state is identical to Unify's, and the rowMax
+// caches survive a no-op merge (the tables did not change).
+func Merge(p, q *Table) bool {
+	if p.numS != q.numS || p.numA != q.numA {
+		// Misaligned backings (tables grown past the calibrated span at
+		// different times) take the slow path; after one Unify the pair is
+		// aligned for good.
+		if Equal(p, q) {
+			return false
+		}
+		Unify(p, q)
+		return true
+	}
+	changed := false
+	n := 0
+	for w := range p.mask {
+		pw, qw := p.mask[w], q.mask[w]
+		u := pw | qw
+		if u == 0 {
+			continue
+		}
+		base := w << 6
+		for b := pw & qw; b != 0; b &= b - 1 {
+			i := base + bits.TrailingZeros64(b)
+			if pv, qv := p.q[i], q.q[i]; pv != qv {
+				avg := (pv + qv) / 2
+				p.q[i], q.q[i] = avg, avg
+				changed = true
+			}
+		}
+		for b := pw &^ qw; b != 0; b &= b - 1 {
+			i := base + bits.TrailingZeros64(b)
+			q.q[i] = p.q[i]
+		}
+		for b := qw &^ pw; b != 0; b &= b - 1 {
+			i := base + bits.TrailingZeros64(b)
+			p.q[i] = q.q[i]
+		}
+		if pw != qw {
+			p.mask[w], q.mask[w] = u, u
+			changed = true
+		}
+		n += bits.OnesCount64(u)
+	}
+	p.n, q.n = n, n
+	if changed {
+		p.invalidateRowMax()
+		q.invalidateRowMax()
+	}
+	return changed
 }
 
 // Equal reports whether two tables hold exactly the same cells and values.

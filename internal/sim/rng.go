@@ -104,7 +104,10 @@ func mul64(a, b uint64) (hi, lo uint64) {
 
 // Float64 returns a uniform random float64 in [0, 1).
 func (r *RNG) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	// Multiplying by 0x1p-53 is bit-identical to dividing by 1<<53 — both
+	// scale by an exact power of two — and avoids a hardware divide on the
+	// hottest draw path.
+	return float64(r.Uint64()>>11) * 0x1p-53
 }
 
 // Bool returns a fair random boolean.
@@ -137,13 +140,24 @@ func (r *RNG) ExpFloat64() float64 {
 
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
-	p := make([]int, n)
-	for i := range p {
-		j := r.Intn(i + 1)
-		p[i] = p[j]
-		p[j] = i
+	return r.PermInto(nil, n)
+}
+
+// PermInto is Perm into a caller-owned buffer: it returns a pseudo-random
+// permutation of [0, n) in dst's backing array (grown only when too small),
+// consuming exactly the draws Perm consumes. Callers on hot paths reuse one
+// buffer across rounds to keep shuffling allocation-free.
+func (r *RNG) PermInto(dst []int, n int) []int {
+	if cap(dst) < n {
+		dst = make([]int, n)
 	}
-	return p
+	dst = dst[:n]
+	for i := 0; i < n; i++ {
+		j := r.Intn(i + 1)
+		dst[i] = dst[j]
+		dst[j] = i
+	}
+	return dst
 }
 
 // Shuffle randomises the order of n elements using swap (Fisher-Yates).
