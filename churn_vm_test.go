@@ -70,8 +70,8 @@ func TestVMChurnUnderConsolidation(t *testing.T) {
 			}
 			// Arrivals land on powered PMs only.
 			for _, vm := range res.Cluster.VMs {
-				if vm.Present() && !res.Cluster.PMs[vm.Host].On() {
-					t.Fatalf("VM %d on powered-off PM %d", vm.ID, vm.Host)
+				if vm.Present() && !res.Cluster.PMs[vm.Host()].On() {
+					t.Fatalf("VM %d on powered-off PM %d", vm.ID, vm.Host())
 				}
 			}
 		})

@@ -36,6 +36,7 @@ func main() {
 	drops := flag.String("drops", "0,0.1,0.2", "comma-separated message-loss probabilities for -exp robust")
 	lats := flag.String("lats", "1,30,90", "comma-separated one-way message latencies for -exp robust")
 	scaleOut := flag.String("scale-out", "BENCH_scale.json", "output path for the -exp scale report")
+	scaleSizesFlag := flag.String("scale-sizes", "", "comma-separated cluster sizes for -exp scale (empty = built-in grid up to 100k PMs)")
 	learnOut := flag.String("learn-out", "BENCH_learn.json", "output path for the -exp learn report")
 	learnIters := flag.Int("learn-iters", 2_000_000, "training iterations per kernel measurement for -exp learn")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -92,7 +93,7 @@ func main() {
 	}
 
 	if want["scale"] {
-		runScale(*seed, *scaleOut)
+		runScale(*seed, *scaleOut, parseInts(*scaleSizesFlag))
 		if len(want) == 1 {
 			return
 		}

@@ -9,6 +9,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sync"
 	"time"
 
 	"github.com/glap-sim/glap/internal/dc"
@@ -31,13 +33,25 @@ const (
 	scaleConsRounds  = 40
 )
 
-var scaleSizes = []int{500, 1000, 2000, 5000}
+// scaleSizes spans three orders of magnitude: the paper's evaluation range
+// (≤ 2000 PMs) up to the ROADMAP's six-figure north star. The hyperscale
+// rows exist because the struct-of-arrays cluster core, the streaming trace
+// source, and the compact shared Q-table backing hold per-PM state to a few
+// KB; the dense per-entity layout they replaced ran ~129 KB/PM and could
+// not have fit 100k PMs in commodity memory.
+var scaleSizes = []int{500, 1000, 2000, 5000, 20000, 50000, 100000}
 
 // scaleRow is one grid cell of BENCH_scale.json.
 type scaleRow struct {
 	PMs     int `json:"pms"`
 	VMs     int `json:"vms"`
 	Workers int `json:"workers"`
+
+	// Gomaxprocs and NumCPU are recorded per row (not just in the header)
+	// so a committed row can never be mistaken for evidence of parallel
+	// speedup when the run was taken on a throttled or single-core host.
+	Gomaxprocs int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
 
 	PretrainSec      float64 `json:"pretrain_sec"`
 	ConsolidationSec float64 `json:"consolidation_sec"`
@@ -57,6 +71,14 @@ type scaleRow struct {
 	// PretrainSpeedup is this row's pretrain time relative to the same-size
 	// workers=1 row (1.0 for the sequential row itself).
 	PretrainSpeedup float64 `json:"pretrain_speedup"`
+
+	// HeapBytesPeak is the highest live-heap watermark (runtime.MemStats
+	// HeapAlloc) observed across the whole cell — build, pretrain,
+	// consolidation, metrics — sampled by a background watcher and at every
+	// stage boundary. The per-cell runtime.GC() before the baseline read
+	// keeps the figure comparable across cells; divided by PMs it is the
+	// bytes-per-PM capacity metric tracked in EXPERIMENTS.md.
+	HeapBytesPeak uint64 `json:"heap_bytes_peak"`
 
 	// SeriesHash fingerprints the run's full metrics series; equal hashes
 	// across worker counts witness the determinism contract.
@@ -88,10 +110,62 @@ func scaleWorkerList() []int {
 	return ws
 }
 
+// heapWatcher tracks the peak live heap (MemStats.HeapAlloc) over a window.
+// A background goroutine samples on a short ticker so peaks inside a long
+// stage are not missed; Sample is also called explicitly at stage boundaries
+// so short cells with no tick still record every inter-stage watermark.
+type heapWatcher struct {
+	peak uint64
+	mu   sync.Mutex
+	stop chan struct{}
+	done chan struct{}
+}
+
+func startHeapWatcher() *heapWatcher {
+	hw := &heapWatcher{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(hw.done)
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				hw.Sample()
+			case <-hw.stop:
+				return
+			}
+		}
+	}()
+	return hw
+}
+
+func (hw *heapWatcher) Sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	hw.mu.Lock()
+	if ms.HeapAlloc > hw.peak {
+		hw.peak = ms.HeapAlloc
+	}
+	hw.mu.Unlock()
+}
+
+// Stop takes a final sample, terminates the watcher, and returns the peak.
+func (hw *heapWatcher) Stop() uint64 {
+	hw.Sample()
+	close(hw.stop)
+	<-hw.done
+	hw.mu.Lock()
+	defer hw.mu.Unlock()
+	return hw.peak
+}
+
 // runScaleCell executes one full reduced GLAP experiment at the given size
 // and worker count, timing each stage.
 func runScaleCell(pms, workers int, seed uint64, w *trace.Set) (scaleRow, error) {
-	row := scaleRow{PMs: pms, VMs: pms * scaleRatio, Workers: workers}
+	row := scaleRow{
+		PMs: pms, VMs: pms * scaleRatio, Workers: workers,
+		Gomaxprocs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+	}
 	cfg := glap.Config{LearnRounds: scaleLearnRounds, AggRounds: scaleAggRounds}
 	opts := glap.PretrainOptions{Workers: workers}
 
@@ -106,55 +180,67 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set) (scaleRow, error)
 		return c, nil
 	}
 
+	// Collect the previous cell's garbage now so its GC debt is not billed
+	// to this cell's timings or its heap watermark (large-cell heaps run to
+	// hundreds of MB, and at 100k PMs to gigabytes).
+	runtime.GC()
+	hw := startHeapWatcher()
 	pre, err := build()
 	if err != nil {
+		hw.Stop()
 		return row, err
 	}
-	// Collect the previous cell's garbage now so its GC debt is not billed
-	// to this cell's timings (large-cell heaps run to hundreds of MB).
-	runtime.GC()
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	res, err := glap.Pretrain(cfg, pre, seed+2, opts)
 	if err != nil {
+		hw.Stop()
 		return row, err
 	}
 	row.PretrainSec = time.Since(start).Seconds()
 	runtime.ReadMemStats(&msAfter)
+	hw.Sample()
 	trainIters := float64(pms) * float64(scaleLearnRounds) * float64(glap.DefaultConfig().LearnIterations)
 	row.PretrainAllocsPerIter = float64(msAfter.Mallocs-msBefore.Mallocs) / trainIters
 	row.PretrainBytesPerIter = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / trainIters
 
 	tables, err := glap.SharedTables(res)
 	if err != nil {
+		hw.Stop()
 		return row, err
 	}
 	run, err := build()
 	if err != nil {
+		hw.Stop()
 		return row, err
 	}
 	e := sim.NewEngine(pms, seed+3)
 	e.Workers = workers
 	b, err := policy.Bind(e, run)
 	if err != nil {
+		hw.Stop()
 		return row, err
 	}
 	glap.InstallConsolidation(e, b, tables, cfg, opts)
 	series := metrics.Attach(e, run, 0)
+	hw.Sample()
 	start = time.Now()
 	e.RunRounds(scaleConsRounds)
 	row.ConsolidationSec = time.Since(start).Seconds()
+	hw.Sample()
 
 	start = time.Now()
 	series.Finalize(run)
 	energy := metrics.TotalEnergyKWh(run)
 	if err := run.CheckInvariants(); err != nil {
+		hw.Stop()
 		return row, err
 	}
 	row.MetricsSec = time.Since(start).Seconds()
 	row.TotalSec = row.PretrainSec + row.ConsolidationSec + row.MetricsSec
 	row.SeriesHash = hashScaleSeries(series, energy)
+	row.HeapBytesPeak = hw.Stop()
 	return row, nil
 }
 
@@ -173,8 +259,28 @@ func hashScaleSeries(s *metrics.Series, energyKWh float64) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// runScale is the `-exp scale` mode.
-func runScale(seed uint64, outPath string) {
+// runScale is the `-exp scale` mode. sizes overrides the default grid when
+// non-empty (the CI smoke runs a single small size).
+func runScale(seed uint64, outPath string, sizes []int) {
+	if len(sizes) == 0 {
+		sizes = scaleSizes
+	}
+	// Tighter GC discipline for the duration of the grid: with the default
+	// GOGC=100 the collector lets the heap double over live state before
+	// collecting, so heap_bytes_peak would report mostly floating garbage
+	// from the merge churn of the aggregation phase rather than the layout's
+	// real footprint. GOGC=10 keeps the watermark within ~10% of live
+	// state; the extra collections are cheap where it matters, because the
+	// learning phase allocates almost nothing (zero-alloc kernel) and GC
+	// only triggers during the allocation-heavy build and aggregation
+	// stages. The 8 GiB soft limit is an anti-OOM backstop only — the
+	// 100k-PM row's live state (~4.5 GiB of mid-convergence Q-cells, see
+	// EXPERIMENTS.md) must stay clear of it, or the pacer would stall the
+	// run in back-to-back collections.
+	prevGC := debug.SetGCPercent(10)
+	prevLimit := debug.SetMemoryLimit(8 << 30)
+	defer debug.SetGCPercent(prevGC)
+	defer debug.SetMemoryLimit(prevLimit)
 	rep := scaleReport{
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		NumCPU:      runtime.NumCPU(),
@@ -186,9 +292,16 @@ func runScale(seed uint64, outPath string) {
 	}
 	workers := scaleWorkerList()
 	fmt.Printf("== scale: sizes=%v workers=%v (GOMAXPROCS=%d) ==\n",
-		scaleSizes, workers, rep.GOMAXPROCS)
-	for _, pms := range scaleSizes {
-		w, err := trace.Generate(trace.DefaultGenConfig(pms*scaleRatio, scaleLearnRounds+scaleAggRounds+scaleConsRounds, seed))
+		sizes, workers, rep.GOMAXPROCS)
+	if rep.GOMAXPROCS == 1 {
+		fmt.Println("WARNING: GOMAXPROCS=1 — worker rows share one OS thread; " +
+			"speedup columns measure scheduling overhead, not parallelism.")
+	}
+	for _, pms := range sizes {
+		// The streaming source holds per-VM generator state (a few dozen
+		// bytes) instead of materialised series; at 200k VMs × 100 rounds the
+		// retired eager path alone held ~1.3 GB of float64 samples.
+		w, err := trace.GenerateStreaming(trace.DefaultGenConfig(pms*scaleRatio, scaleLearnRounds+scaleAggRounds+scaleConsRounds, seed))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -209,10 +322,12 @@ func runScale(seed uint64, outPath string) {
 				log.Fatalf("scale: series hash diverged at pms=%d workers=%d", pms, wk)
 			}
 			rep.Rows = append(rep.Rows, row)
-			fmt.Printf("pms=%-5d workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs hash=%s\n",
+			fmt.Printf("pms=%-6d workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs heap_peak=%6.1fMB (%.0f B/PM) hash=%s\n",
 				pms, wk, row.PretrainSec, row.PretrainSpeedup,
 				row.PretrainAllocsPerIter, row.PretrainBytesPerIter,
-				row.ConsolidationSec, row.MetricsSec, row.SeriesHash[:12])
+				row.ConsolidationSec, row.MetricsSec,
+				float64(row.HeapBytesPeak)/(1<<20), float64(row.HeapBytesPeak)/float64(pms),
+				row.SeriesHash[:12])
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

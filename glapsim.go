@@ -239,7 +239,10 @@ func workloadFor(x Experiment) (*trace.Set, error) {
 		gen.Rounds = x.Rounds
 		gen.Seed = deriveSeed(x.Seed, seedTrace)
 	}
-	return trace.Generate(gen)
+	// The streaming source synthesises samples on demand from ~200 bytes of
+	// per-VM state — bit-identical to the materialised generator, but a
+	// 200k-VM workload no longer costs rounds×16 bytes per VM up front.
+	return trace.GenerateStreaming(gen)
 }
 
 // buildCluster assembles a cluster with the experiment's deterministic

@@ -157,7 +157,7 @@ func (p *Protocol) findAssenting(e *sim.Engine, n *sim.Node, vm *dc.VM) *dc.PM {
 			return nil
 		}
 		pm := c.PMs[peer]
-		if pm.ID == vm.Host || !pm.On() {
+		if pm.ID == vm.Host() || !pm.On() {
 			continue
 		}
 		u := c.CurUtil(pm)

@@ -110,7 +110,7 @@ func TestDestinationsStayBelowT2(t *testing.T) {
 func TestShedsHighLoadEventually(t *testing.T) {
 	cl := constCluster(t, 4, 8, 1.0, 0.2)
 	for _, vm := range cl.VMs {
-		if vm.Host != 0 {
+		if vm.Host() != 0 {
 			if err := cl.Migrate(vm, cl.PMs[0]); err != nil {
 				t.Fatal(err)
 			}

@@ -79,7 +79,7 @@ func TestShedsOverload(t *testing.T) {
 	cl := constCluster(t, 3, 6, 1.0, 0.2)
 	// Overload PM 0 with all six VMs (3000 > 2660 MIPS).
 	for _, vm := range cl.VMs {
-		if vm.Host != 0 {
+		if vm.Host() != 0 {
 			if err := cl.Migrate(vm, cl.PMs[0]); err != nil {
 				t.Fatal(err)
 			}

@@ -187,7 +187,7 @@ func median(xs []float64) float64 {
 func (c *Controller) utilWithout(pm *dc.PM, pending []*dc.VM) float64 {
 	u := c.B.C.CurUtil(pm)[dc.CPU]
 	for _, vm := range pending {
-		if vm.Host == pm.ID {
+		if vm.Host() == pm.ID {
 			u -= vm.CurAbs()[dc.CPU] / pm.Spec.Capacity[dc.CPU]
 		}
 	}
@@ -210,7 +210,7 @@ func (c *Controller) place(pending []*dc.VM, th []float64, exclude map[int]bool)
 		if dst == nil {
 			dst = c.powerOnOne()
 		}
-		if dst == nil || dst.ID == vm.Host {
+		if dst == nil || dst.ID == vm.Host() {
 			continue
 		}
 		_ = cl.Migrate(vm, dst)
@@ -233,7 +233,7 @@ func (c *Controller) planPlacement(vms []*dc.VM, th []float64, exclude map[int]b
 		var best *dc.PM
 		var bestU float64
 		for _, pm := range cl.PMs {
-			if !pm.On() || exclude[pm.ID] || pm.ID == vm.Host {
+			if !pm.On() || exclude[pm.ID] || pm.ID == vm.Host() {
 				continue
 			}
 			u := cl.CurUtil(pm).Add(extra[pm.ID].Div(pm.Spec.Capacity))
@@ -261,7 +261,7 @@ func (c *Controller) bestFit(vm *dc.VM, th []float64, exclude map[int]bool) *dc.
 	var best *dc.PM
 	var bestPower, bestU float64
 	for _, pm := range cl.PMs {
-		if !pm.On() || exclude[pm.ID] || pm.ID == vm.Host {
+		if !pm.On() || exclude[pm.ID] || pm.ID == vm.Host() {
 			continue
 		}
 		u := cl.CurUtil(pm)

@@ -103,7 +103,7 @@ func TestConsolidatesUnderload(t *testing.T) {
 func TestMitigatesOverload(t *testing.T) {
 	cl := constCluster(t, 3, 6, 1.0, 0.2)
 	for _, vm := range cl.VMs {
-		if vm.Host != 0 {
+		if vm.Host() != 0 {
 			if err := cl.Migrate(vm, cl.PMs[0]); err != nil {
 				t.Fatal(err)
 			}
@@ -139,7 +139,7 @@ func TestReactivatesWhenNeeded(t *testing.T) {
 	// PM1 (2500/2660, no headroom for a 500-MIPS VM).
 	for i, vm := range cl.VMs {
 		dst := cl.PMs[i%2]
-		if vm.Host != dst.ID {
+		if vm.Host() != dst.ID {
 			if err := cl.Migrate(vm, dst); err != nil {
 				t.Fatal(err)
 			}

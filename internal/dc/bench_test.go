@@ -38,7 +38,7 @@ func BenchmarkMigrate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		vm := c.VMs[i%len(c.VMs)]
-		dst := c.PMs[(vm.Host+1)%len(c.PMs)]
+		dst := c.PMs[(vm.Host()+1)%len(c.PMs)]
 		if err := c.Migrate(vm, dst); err != nil {
 			b.Fatal(err)
 		}

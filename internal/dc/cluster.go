@@ -8,134 +8,127 @@ import (
 	"github.com/glap-sim/glap/internal/trace"
 )
 
-// VM is one virtual machine instance. Demand fields are fractions of the
-// VM's allocated capacity; absolute demand is fraction * Spec.Capacity.
+// The cluster core is laid out struct-of-arrays: every piece of mutable
+// per-VM and per-PM state lives in an ID-indexed flat slice owned by the
+// Cluster, and the exported VM/PM types are thin handles (ID + hardware
+// spec + back-pointer) whose accessor methods read those slices. The handle
+// objects themselves are immutable after New, carved from two contiguous
+// backing arrays, so a 100k-PM cluster is a fixed set of flat allocations
+// instead of hundreds of thousands of pointer-chased structs and per-PM
+// maps. Hot loops (AdvanceRound, the learning kernel's VM walks) touch
+// densely packed state with unit stride.
+
+// Flag bits of vmFlags.
+const (
+	vmFlagDeparted uint8 = 1 << iota
+	vmFlagSeeded
+)
+
+// VM is a handle onto one virtual machine's state. Demand fields are
+// fractions of the VM's allocated capacity; absolute demand is
+// fraction * Spec.Capacity.
 type VM struct {
 	// ID is the VM's dense index.
 	ID int
 	// Spec is the VM's nominal allocation.
 	Spec VMSpec
-	// Host is the hosting PM id, or -1 while unplaced.
-	Host int
 
-	// Cur is the current-round demand fraction per resource.
-	Cur Vec
-	// avg is the running average demand per resource, maintained as the
-	// paper's {c, v} tuple: v is the mean of the first c observations.
-	avg   Vec
-	count int
-
-	// Migrations counts completed live migrations of this VM.
-	Migrations int
-	// degradedCPU accumulates C_d: the CPU-work degradation caused by
-	// migration, estimated as 10% of the VM's CPU utilisation over each
-	// migration (MIPS·seconds).
-	degradedCPU float64
-	// requestedCPU accumulates C_r: total CPU capacity requested over the
-	// VM's lifetime (MIPS·seconds).
-	requestedCPU float64
-
-	// Lifecycle bounds: the VM exists in rounds [arrive, depart); depart<0
-	// means forever. departed marks a VM that has left for good; seeded
-	// records that arrival restarted demand monitoring, so placement
-	// retries in later rounds don't wipe the running average again.
-	arrive   int
-	depart   int
-	departed bool
-	seeded   bool
+	c *Cluster
 }
+
+// Host returns the hosting PM id, or -1 while unplaced.
+func (v *VM) Host() int { return int(v.c.vmHost[v.ID]) }
 
 // AvgDemand returns the running average demand fraction per resource (the
 // paper's "average demand monitored up to now").
-func (v *VM) AvgDemand() Vec { return v.avg }
+func (v *VM) AvgDemand() Vec { return v.c.vmAvg[v.ID] }
 
 // CurDemand returns the current demand fraction per resource.
-func (v *VM) CurDemand() Vec { return v.Cur }
+func (v *VM) CurDemand() Vec { return v.c.vmCur[v.ID] }
+
+// SetCurDemand overrides the VM's current demand fraction, keeping the host
+// PM's cached demand sums consistent. It exists for tests that sculpt
+// specific demand scenarios; simulations refresh demand from the workload
+// in AdvanceRound.
+func (v *VM) SetCurDemand(d Vec) {
+	c := v.c
+	if h := c.vmHost[v.ID]; h >= 0 {
+		c.pmCurSum[h] = c.pmCurSum[h].Sub(v.CurAbs())
+		c.vmCur[v.ID] = d
+		c.pmCurSum[h] = c.pmCurSum[h].Add(v.CurAbs())
+		return
+	}
+	c.vmCur[v.ID] = d
+}
 
 // CurAbs returns the current absolute demand (MIPS, MB).
 func (v *VM) CurAbs() Vec {
-	return Vec{v.Cur[CPU] * v.Spec.Capacity[CPU], v.Cur[Mem] * v.Spec.Capacity[Mem]}
+	cur, cp := v.c.vmCur[v.ID], v.c.vmCap[v.ID]
+	return Vec{cur[CPU] * cp[CPU], cur[Mem] * cp[Mem]}
 }
 
 // AvgAbs returns the average absolute demand (MIPS, MB).
 func (v *VM) AvgAbs() Vec {
-	return Vec{v.avg[CPU] * v.Spec.Capacity[CPU], v.avg[Mem] * v.Spec.Capacity[Mem]}
+	avg, cp := v.c.vmAvg[v.ID], v.c.vmCap[v.ID]
+	return Vec{avg[CPU] * cp[CPU], avg[Mem] * cp[Mem]}
 }
+
+// MigrationCount returns the number of completed live migrations of this VM.
+func (v *VM) MigrationCount() int { return int(v.c.vmMigs[v.ID]) }
 
 // DegradationRatio returns C_d / C_r for the SLALM metric; 0 when the VM has
 // not yet requested any CPU.
 func (v *VM) DegradationRatio() float64 {
-	if v.requestedCPU == 0 {
+	if v.c.vmRequested[v.ID] == 0 {
 		return 0
 	}
-	return v.degradedCPU / v.requestedCPU
+	return v.c.vmDegraded[v.ID] / v.c.vmRequested[v.ID]
 }
 
-// PM is one physical machine.
+// PM is a handle onto one physical machine's state.
 type PM struct {
 	// ID is the PM's dense index.
 	ID int
 	// Spec is the hardware model.
 	Spec PMSpec
 
-	vms map[int]*VM
-	on  bool
-
-	// curSum and avgSum cache the aggregate absolute demand of the hosted
-	// VMs (current and running-average). They are maintained incrementally
-	// on attach/detach and rebuilt from scratch each AdvanceRound, so
-	// floating-point drift cannot accumulate across rounds.
-	curSum Vec
-	avgSum Vec
-
-	// reserved holds capacity set aside for in-flight migrations, keyed by
-	// offer token; reservedSum caches the aggregate (see reserve.go).
-	reserved    map[uint64]Vec
-	reservedSum Vec
-
-	// activeSeconds is total time switched on; overloadSeconds is time
-	// spent at 100% CPU utilisation (for SLAVO).
-	activeSeconds   float64
-	overloadSeconds float64
-	// energyJ accumulates baseline power consumption while on.
-	energyJ float64
+	c *Cluster
 }
 
 // On reports whether the PM is powered.
-func (p *PM) On() bool { return p.on }
+func (p *PM) On() bool { return p.c.pmOn(p.ID) }
 
 // NumVMs returns the number of hosted VMs.
-func (p *PM) NumVMs() int { return len(p.vms) }
+func (p *PM) NumVMs() int { return len(p.c.pmVMs[p.ID]) }
 
 // VMIDs returns the hosted VM ids in ascending order. The copy is the
 // caller's to keep.
 func (p *PM) VMIDs() []int {
-	return p.AppendVMIDs(make([]int, 0, len(p.vms)))
+	return p.AppendVMIDs(make([]int, 0, p.NumVMs()))
 }
 
 // AppendVMIDs appends the hosted VM ids in ascending order to dst and
 // returns the extended slice. Callers on a hot path pass a reused buffer
 // (typically dst[:0]) so the collection allocates nothing once the buffer
 // has grown to the high-water VM count — the learning kernel walks two PMs'
-// VM sets every training round and must not build garbage doing so.
+// VM sets every training round and must not build garbage doing so. The
+// per-PM lists are maintained in sorted order, so this is a straight copy.
 func (p *PM) AppendVMIDs(dst []int) []int {
-	start := len(dst)
-	for id := range p.vms {
-		dst = append(dst, id)
+	for _, id := range p.c.pmVMs[p.ID] {
+		dst = append(dst, int(id))
 	}
-	sort.Ints(dst[start:])
 	return dst
 }
 
 // ActiveSeconds returns total powered-on time (T_a in Eq. 1).
-func (p *PM) ActiveSeconds() float64 { return p.activeSeconds }
+func (p *PM) ActiveSeconds() float64 { return p.c.pmActiveSec[p.ID] }
 
 // OverloadSeconds returns total time at 100% CPU utilisation (T_s in Eq. 1).
-func (p *PM) OverloadSeconds() float64 { return p.overloadSeconds }
+func (p *PM) OverloadSeconds() float64 { return p.c.pmOverloadSec[p.ID] }
 
 // EnergyJ returns the PM's accumulated baseline energy (excluding migration
 // overhead, which the cluster ledger tracks separately).
-func (p *PM) EnergyJ() float64 { return p.energyJ }
+func (p *PM) EnergyJ() float64 { return p.c.pmEnergyJ[p.ID] }
 
 // Migration describes one completed live migration for the energy ledger.
 type Migration struct {
@@ -148,11 +141,57 @@ type Migration struct {
 	EnergyJ float64
 }
 
+// resKey identifies one capacity reservation: reservations are keyed by
+// (PM, offer token) in a single cluster-level map, since at any instant
+// only a handful of the cluster's PMs hold one — a per-PM map would burn a
+// map header per machine for a nearly-always-empty structure.
+type resKey struct {
+	pm    int32
+	token uint64
+}
+
 // Cluster is the full data center: PMs, VMs, the driving workload, and the
-// global accounting the evaluation metrics are computed from.
+// global accounting the evaluation metrics are computed from. All mutable
+// per-entity state is held in the ID-indexed slices below; PMs and VMs are
+// stable handles into them.
 type Cluster struct {
 	PMs []*PM
 	VMs []*VM
+
+	// Per-VM state, indexed by VM id.
+	vmHost      []int32 // hosting PM id, -1 while unplaced
+	vmCur       []Vec   // current-round demand fraction
+	vmAvg       []Vec   // running average demand (the paper's {c, v} tuple...)
+	vmCount     []int32 // ...where this is c, the number of observations
+	vmCap       []Vec   // absolute capacity (Spec.Capacity), precomputed
+	vmMigs      []int32 // completed live migrations
+	vmDegraded  []float64 // C_d: migration CPU degradation (MIPS·s)
+	vmRequested []float64 // C_r: lifetime requested CPU (MIPS·s)
+	vmArrive    []int32 // first round present
+	vmDepart    []int32 // first round absent, -1 = never
+	vmFlags     []uint8 // vmFlagDeparted | vmFlagSeeded
+
+	// Per-PM state, indexed by PM id.
+	pmUp          []uint64 // powered-state bitset, bit p of word p/64
+	pmCurSum      []Vec    // aggregate current absolute demand of hosted VMs
+	pmAvgSum      []Vec    // aggregate running-average absolute demand
+	pmResSum      []Vec    // aggregate reserved demand (see reserve.go)
+	pmResCount    []int32  // open reservations
+	pmActiveSec   []float64
+	pmOverloadSec []float64
+	pmEnergyJ     []float64
+	// pmVMs holds each PM's hosted VM ids in ascending order. The initial
+	// per-PM capacity is carved from one shared arena sized for the mean
+	// occupancy (full slice expressions cap each window, so a PM that
+	// outgrows its window reallocates individually without touching its
+	// neighbours). Sorted maintenance keeps AppendVMIDs a straight copy and
+	// makes every demand fold run in ascending VM-ID order.
+	pmVMs [][]int32
+
+	// reservations holds capacity set aside for in-flight migrations,
+	// keyed by (PM, offer token); pmResSum/pmResCount cache the per-PM
+	// aggregates (see reserve.go).
+	reservations map[resKey]Vec
 
 	workload  *trace.Set
 	round     int
@@ -168,11 +207,6 @@ type Cluster struct {
 	// honored exactly). Results are identical for every setting.
 	Workers int
 
-	// hosted is AdvanceRound's reusable scratch: per-PM lists of present VMs
-	// in ascending VM-ID order, so each PM's demand sums fold in the exact
-	// order the former sequential rebuild used.
-	hosted [][]*VM
-
 	// Migrations is the cumulative migration count.
 	Migrations int64
 	// FailedPlacements counts arrival rounds in which an arriving VM could
@@ -183,6 +217,39 @@ type Cluster struct {
 	MigrationEnergyJ float64
 	migrationLog     []Migration
 	logMigrations    bool
+}
+
+// pmOn reads the powered bit of PM p.
+func (c *Cluster) pmOn(p int) bool {
+	return c.pmUp[uint(p)>>6]&(1<<(uint(p)&63)) != 0
+}
+
+func (c *Cluster) setPMUp(p int, on bool) {
+	if on {
+		c.pmUp[uint(p)>>6] |= 1 << (uint(p) & 63)
+	} else {
+		c.pmUp[uint(p)>>6] &^= 1 << (uint(p) & 63)
+	}
+}
+
+// hostedInsert adds VM id to PM p's sorted hosted list.
+func (c *Cluster) hostedInsert(p int, id int32) {
+	list := c.pmVMs[p]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = id
+	c.pmVMs[p] = list
+}
+
+// hostedRemove drops VM id from PM p's sorted hosted list.
+func (c *Cluster) hostedRemove(p int, id int32) {
+	list := c.pmVMs[p]
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	if i < len(list) && list[i] == id {
+		copy(list[i:], list[i+1:])
+		c.pmVMs[p] = list[:len(list)-1]
+	}
 }
 
 // Config assembles a Cluster.
@@ -228,30 +295,72 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.RoundSeconds == 0 {
 		cfg.RoundSeconds = 120
 	}
+	numVMs := cfg.Workload.NumVMs()
 	c := &Cluster{
 		workload:      cfg.Workload,
 		RoundSeconds:  cfg.RoundSeconds,
 		logMigrations: cfg.LogMigrations,
 		migBW:         cfg.MigrationBandwidth,
+
+		vmHost:      make([]int32, numVMs),
+		vmCur:       make([]Vec, numVMs),
+		vmAvg:       make([]Vec, numVMs),
+		vmCount:     make([]int32, numVMs),
+		vmCap:       make([]Vec, numVMs),
+		vmMigs:      make([]int32, numVMs),
+		vmDegraded:  make([]float64, numVMs),
+		vmRequested: make([]float64, numVMs),
+		vmArrive:    make([]int32, numVMs),
+		vmDepart:    make([]int32, numVMs),
+		vmFlags:     make([]uint8, numVMs),
+
+		pmUp:          make([]uint64, (cfg.PMs+63)/64),
+		pmCurSum:      make([]Vec, cfg.PMs),
+		pmAvgSum:      make([]Vec, cfg.PMs),
+		pmResSum:      make([]Vec, cfg.PMs),
+		pmResCount:    make([]int32, cfg.PMs),
+		pmActiveSec:   make([]float64, cfg.PMs),
+		pmOverloadSec: make([]float64, cfg.PMs),
+		pmEnergyJ:     make([]float64, cfg.PMs),
+		pmVMs:         make([][]int32, cfg.PMs),
 	}
+
+	// Hosted-list arena: one window per PM sized for mean occupancy plus
+	// slack. Consolidation skews occupancy, so windows are a starting
+	// point, not a bound — append past a window's cap spills that PM onto
+	// its own allocation.
+	perPM := numVMs/cfg.PMs + 2
+	arena := make([]int32, cfg.PMs*perPM)
+	for i := range c.pmVMs {
+		c.pmVMs[i] = arena[i*perPM : i*perPM : (i+1)*perPM]
+	}
+
+	pmBack := make([]PM, cfg.PMs)
 	c.PMs = make([]*PM, cfg.PMs)
 	for i := range c.PMs {
 		spec := cfg.PMSpec
 		if cfg.PMSpecFor != nil {
 			spec = cfg.PMSpecFor(i)
 		}
-		c.PMs[i] = &PM{ID: i, Spec: spec, vms: make(map[int]*VM), on: true}
+		pmBack[i] = PM{ID: i, Spec: spec, c: c}
+		c.PMs[i] = &pmBack[i]
+		c.setPMUp(i, true)
 	}
-	c.VMs = make([]*VM, cfg.Workload.NumVMs())
+
+	vmBack := make([]VM, numVMs)
+	c.VMs = make([]*VM, numVMs)
 	for i := range c.VMs {
-		vm := &VM{ID: i, Spec: cfg.VMSpec, Host: -1, depart: -1}
+		vmBack[i] = VM{ID: i, Spec: cfg.VMSpec, c: c}
+		c.VMs[i] = &vmBack[i]
+		c.vmHost[i] = -1
+		c.vmDepart[i] = -1
+		c.vmCap[i] = cfg.VMSpec.Capacity
 		// Seed demand from round 0 so states are meaningful before the
 		// first AdvanceRound.
 		s := cfg.Workload.At(i, 0)
-		vm.Cur = Vec{s.CPU, s.Mem}
-		vm.avg = vm.Cur
-		vm.count = 1
-		c.VMs[i] = vm
+		c.vmCur[i] = Vec{s.CPU, s.Mem}
+		c.vmAvg[i] = c.vmCur[i]
+		c.vmCount[i] = 1
 	}
 	return c, nil
 }
@@ -276,14 +385,14 @@ func (c *Cluster) PlaceRandom(intn func(n int) int) {
 	c.placeIntn = intn
 	alloc := make([]Vec, len(c.PMs))
 	for _, vm := range c.VMs {
-		if vm.Host >= 0 || vm.arrive > 0 {
+		if c.vmHost[vm.ID] >= 0 || c.vmArrive[vm.ID] > 0 {
 			continue
 		}
 		placed := false
 		for attempt := 0; attempt < 3*len(c.PMs); attempt++ {
 			p := intn(len(c.PMs))
 			pm := c.PMs[p]
-			if !pm.on {
+			if !c.pmOn(p) {
 				continue
 			}
 			if alloc[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
@@ -299,7 +408,7 @@ func (c *Cluster) PlaceRandom(intn func(n int) int) {
 			for off := 0; off < len(c.PMs); off++ {
 				p := (start + off) % len(c.PMs)
 				pm := c.PMs[p]
-				if !pm.on {
+				if !c.pmOn(p) {
 					continue
 				}
 				if alloc[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
@@ -321,16 +430,16 @@ func (c *Cluster) PlaceRandom(intn func(n int) int) {
 }
 
 func (c *Cluster) attach(vm *VM, pm *PM) {
-	pm.vms[vm.ID] = vm
-	vm.Host = pm.ID
-	pm.curSum = pm.curSum.Add(vm.CurAbs())
-	pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
+	c.hostedInsert(pm.ID, int32(vm.ID))
+	c.vmHost[vm.ID] = int32(pm.ID)
+	c.pmCurSum[pm.ID] = c.pmCurSum[pm.ID].Add(vm.CurAbs())
+	c.pmAvgSum[pm.ID] = c.pmAvgSum[pm.ID].Add(vm.AvgAbs())
 }
 
 func (c *Cluster) detach(vm *VM, pm *PM) {
-	delete(pm.vms, vm.ID)
-	pm.curSum = pm.curSum.Sub(vm.CurAbs())
-	pm.avgSum = pm.avgSum.Sub(vm.AvgAbs())
+	c.hostedRemove(pm.ID, int32(vm.ID))
+	c.pmCurSum[pm.ID] = c.pmCurSum[pm.ID].Sub(vm.CurAbs())
+	c.pmAvgSum[pm.ID] = c.pmAvgSum[pm.ID].Sub(vm.AvgAbs())
 }
 
 // CurUtil returns the PM's current utilisation fraction per resource:
@@ -338,13 +447,13 @@ func (c *Cluster) detach(vm *VM, pm *PM) {
 // exceed 1 when demand outstrips capacity; the PM is then overloaded and the
 // excess manifests as SLA violation.
 func (c *Cluster) CurUtil(pm *PM) Vec {
-	return pm.curSum.Div(pm.Spec.Capacity)
+	return c.pmCurSum[pm.ID].Div(pm.Spec.Capacity)
 }
 
 // AvgUtil returns the PM's utilisation per resource computed from the VMs'
 // running average demand (the paper's pre-action PM state).
 func (c *Cluster) AvgUtil(pm *PM) Vec {
-	return pm.avgSum.Div(pm.Spec.Capacity)
+	return c.pmAvgSum[pm.ID].Div(pm.Spec.Capacity)
 }
 
 // Overloaded reports whether the PM's current demand saturates at least one
@@ -385,13 +494,13 @@ func (c *Cluster) FitsCur(vm *VM, pm *PM) bool {
 // a machine first, and a machine expecting an in-flight VM must stay up to
 // receive it.
 func (c *Cluster) SetPMOn(pm *PM, on bool) error {
-	if !on && len(pm.vms) > 0 {
-		return fmt.Errorf("dc: cannot switch off PM %d: hosts %d VMs", pm.ID, len(pm.vms))
+	if !on && len(c.pmVMs[pm.ID]) > 0 {
+		return fmt.Errorf("dc: cannot switch off PM %d: hosts %d VMs", pm.ID, len(c.pmVMs[pm.ID]))
 	}
-	if !on && len(pm.reserved) > 0 {
-		return fmt.Errorf("dc: cannot switch off PM %d: %d open reservations", pm.ID, len(pm.reserved))
+	if !on && c.pmResCount[pm.ID] > 0 {
+		return fmt.Errorf("dc: cannot switch off PM %d: %d open reservations", pm.ID, c.pmResCount[pm.ID])
 	}
-	pm.on = on
+	c.setPMUp(pm.ID, on)
 	return nil
 }
 
@@ -402,24 +511,25 @@ func (c *Cluster) SetPMOn(pm *PM, on bool) error {
 // over-admission must be expressible so that bad policies produce the SLA
 // violations the paper measures.
 func (c *Cluster) Migrate(vm *VM, dst *PM) error {
-	if vm.Host < 0 {
+	host := c.vmHost[vm.ID]
+	if host < 0 {
 		return fmt.Errorf("dc: VM %d is not placed", vm.ID)
 	}
-	if !dst.on {
+	if !c.pmOn(dst.ID) {
 		return fmt.Errorf("dc: destination PM %d is off", dst.ID)
 	}
-	src := c.PMs[vm.Host]
+	src := c.PMs[host]
 	if src.ID == dst.ID {
 		return fmt.Errorf("dc: VM %d already on PM %d", vm.ID, dst.ID)
 	}
 	c.detach(vm, src)
 	c.attach(vm, dst)
-	vm.Migrations++
+	c.vmMigs[vm.ID]++
 
 	// Migration time: VM memory footprint over available bandwidth. The
 	// footprint is the VM's current memory demand (post-copy of the working
 	// set), bounded below by a small constant so empty VMs still cost.
-	memMB := vm.Cur[Mem] * vm.Spec.Capacity[Mem]
+	memMB := c.vmCur[vm.ID][Mem] * c.vmCap[vm.ID][Mem]
 	if memMB < 1 {
 		memMB = 1
 	}
@@ -443,7 +553,7 @@ func (c *Cluster) Migrate(vm *VM, dst *PM) error {
 
 	// SLALM: performance degradation estimated as 10% of the VM's CPU
 	// utilisation during the migration.
-	vm.degradedCPU += 0.10 * vm.Cur[CPU] * vm.Spec.Capacity[CPU] * tau
+	c.vmDegraded[vm.ID] += 0.10 * c.vmCur[vm.ID][CPU] * c.vmCap[vm.ID][CPU] * tau
 
 	c.Migrations++
 	c.MigrationEnergyJ += energy
@@ -467,65 +577,59 @@ const (
 // AdvanceRound moves the cluster to round r: every VM's current demand is
 // refreshed from the workload and folded into its running average, and PM
 // time/energy accounting advances by one round. Both passes fan out over
-// c.Workers: the VM refresh writes only the VM's own fields, and each PM's
+// c.Workers: the VM refresh writes only the VM's own slots, and each PM's
 // rebuild writes only that PM — with its demand sums folded in ascending
-// VM-ID order, exactly the order the former sequential rebuild used, so the
-// floats are bit-identical for every worker count.
+// VM-ID order (the per-PM hosted lists are maintained sorted), exactly the
+// order the former sequential rebuild used, so the floats are bit-identical
+// for every worker count.
 func (c *Cluster) AdvanceRound(r int) {
 	c.round = r
 	c.stepLifecycle(r)
 	par.ForChunks(len(c.VMs), vmChunk, c.Workers, func(lo, hi int) {
-		for _, vm := range c.VMs[lo:hi] {
-			if !vm.Present() {
+		for id := lo; id < hi; id++ {
+			if c.vmHost[id] < 0 {
 				continue
 			}
-			s := c.workload.At(vm.ID, r)
-			vm.Cur = Vec{s.CPU, s.Mem}
+			s := c.workload.At(id, r)
+			cur := Vec{s.CPU, s.Mem}
+			c.vmCur[id] = cur
 			// Running average: ((c*v) + d(t)) / (c+1), per resource.
-			n := float64(vm.count)
+			n := float64(c.vmCount[id])
+			avg := c.vmAvg[id]
 			for res := 0; res < NumResources; res++ {
-				vm.avg[res] = (n*vm.avg[res] + vm.Cur[res]) / (n + 1)
+				avg[res] = (n*avg[res] + cur[res]) / (n + 1)
 			}
-			vm.count++
-			vm.requestedCPU += vm.Cur[CPU] * vm.Spec.Capacity[CPU] * c.RoundSeconds
+			c.vmAvg[id] = avg
+			c.vmCount[id]++
+			c.vmRequested[id] += cur[CPU] * c.vmCap[id][CPU] * c.RoundSeconds
 		}
 	})
 	// Rebuild the cached demand sums from scratch: demand changed for every
-	// VM, and a fresh summation avoids accumulating float drift. The hosted
-	// lists are built sequentially in ascending VM-ID order — summing over
-	// the pm.vms map would add in a randomized order, and float addition is
-	// order-sensitive, so map order would make runs only probabilistically
-	// reproducible.
-	if cap(c.hosted) < len(c.PMs) {
-		c.hosted = make([][]*VM, len(c.PMs))
-	}
-	c.hosted = c.hosted[:len(c.PMs)]
-	for i := range c.hosted {
-		c.hosted[i] = c.hosted[i][:0]
-	}
-	for _, vm := range c.VMs {
-		if vm.Present() {
-			c.hosted[vm.Host] = append(c.hosted[vm.Host], vm)
-		}
-	}
+	// VM, and a fresh summation avoids accumulating float drift. The sorted
+	// hosted lists make each fold run in ascending VM-ID order — a fixed
+	// order, because float addition is order-sensitive and any randomized
+	// order would make runs only probabilistically reproducible.
 	par.ForChunks(len(c.PMs), pmChunk, c.Workers, func(lo, hi int) {
-		for _, pm := range c.PMs[lo:hi] {
-			pm.curSum, pm.avgSum = Vec{}, Vec{}
-			for _, vm := range c.hosted[pm.ID] {
-				pm.curSum = pm.curSum.Add(vm.CurAbs())
-				pm.avgSum = pm.avgSum.Add(vm.AvgAbs())
+		for p := lo; p < hi; p++ {
+			var curSum, avgSum Vec
+			for _, id := range c.pmVMs[p] {
+				cur, avg, cp := c.vmCur[id], c.vmAvg[id], c.vmCap[id]
+				curSum = curSum.Add(Vec{cur[CPU] * cp[CPU], cur[Mem] * cp[Mem]})
+				avgSum = avgSum.Add(Vec{avg[CPU] * cp[CPU], avg[Mem] * cp[Mem]})
 			}
-			if !pm.on {
+			c.pmCurSum[p] = curSum
+			c.pmAvgSum[p] = avgSum
+			if !c.pmOn(p) {
 				continue
 			}
-			pm.activeSeconds += c.RoundSeconds
-			u := c.CurUtil(pm)
-			cpuU := u[CPU]
+			pm := c.PMs[p]
+			c.pmActiveSec[p] += c.RoundSeconds
+			cpuU := curSum.Div(pm.Spec.Capacity)[CPU]
 			if cpuU >= 1 {
-				pm.overloadSeconds += c.RoundSeconds
+				c.pmOverloadSec[p] += c.RoundSeconds
 				cpuU = 1
 			}
-			pm.energyJ += (pm.Spec.PowerIdleW + (pm.Spec.PowerMaxW-pm.Spec.PowerIdleW)*cpuU) * c.RoundSeconds
+			c.pmEnergyJ[p] += (pm.Spec.PowerIdleW + (pm.Spec.PowerMaxW-pm.Spec.PowerIdleW)*cpuU) * c.RoundSeconds
 		}
 	})
 }
@@ -533,7 +637,7 @@ func (c *Cluster) AdvanceRound(r int) {
 // ActivePMs returns the number of powered PMs.
 func (c *Cluster) ActivePMs() int {
 	return par.OrderedCount(len(c.PMs), pmChunk, c.Workers, func(i int) bool {
-		return c.PMs[i].on
+		return c.pmOn(i)
 	})
 }
 
@@ -541,16 +645,17 @@ func (c *Cluster) ActivePMs() int {
 // saturates at least one resource.
 func (c *Cluster) OverloadedPMs() int {
 	return par.OrderedCount(len(c.PMs), pmChunk, c.Workers, func(i int) bool {
-		return c.PMs[i].on && c.Overloaded(c.PMs[i])
+		return c.pmOn(i) && c.Overloaded(c.PMs[i])
 	})
 }
 
 // CheckInvariants verifies structural consistency (every VM on exactly one
-// powered PM that also lists it). It is used by tests and returns the first
-// violation found. The per-PM scans fan out over c.Workers with per-chunk
-// hosting counts merged in chunk-index order afterwards, so the reported
-// violation is deterministic: the one from the lowest PM index range wins,
-// matching the former sequential scan.
+// powered PM that also lists it, sorted hosted lists, reservation caches in
+// sync). It is used by tests and returns the first violation found. The
+// per-PM scans fan out over c.Workers with per-chunk hosting counts merged
+// in chunk-index order afterwards, so the reported violation is
+// deterministic: the one from the lowest PM index range wins, matching the
+// former sequential scan.
 func (c *Cluster) CheckInvariants() error {
 	pmChunks := chunkCount(len(c.PMs), pmChunk)
 	pmErrs := make([]error, pmChunks)
@@ -559,21 +664,27 @@ func (c *Cluster) CheckInvariants() error {
 		ci := lo / pmChunk
 		seen := make(map[int]int)
 		counts[ci] = seen
-		for _, pm := range c.PMs[lo:hi] {
-			for id, vm := range pm.vms {
-				if vm.ID != id {
-					pmErrs[ci] = fmt.Errorf("dc: PM %d maps id %d to VM %d", pm.ID, id, vm.ID)
+		for p := lo; p < hi; p++ {
+			prev := int32(-1)
+			for _, id := range c.pmVMs[p] {
+				if id <= prev {
+					pmErrs[ci] = fmt.Errorf("dc: PM %d hosted list not sorted at id %d", p, id)
 					return
 				}
-				if vm.Host != pm.ID {
-					pmErrs[ci] = fmt.Errorf("dc: VM %d hosted by PM %d but Host=%d", vm.ID, pm.ID, vm.Host)
+				prev = id
+				if int(id) >= len(c.VMs) {
+					pmErrs[ci] = fmt.Errorf("dc: PM %d lists unknown VM %d", p, id)
 					return
 				}
-				if !pm.on {
-					pmErrs[ci] = fmt.Errorf("dc: powered-off PM %d hosts VM %d", pm.ID, vm.ID)
+				if c.vmHost[id] != int32(p) {
+					pmErrs[ci] = fmt.Errorf("dc: VM %d hosted by PM %d but Host=%d", id, p, c.vmHost[id])
 					return
 				}
-				seen[id]++
+				if !c.pmOn(p) {
+					pmErrs[ci] = fmt.Errorf("dc: powered-off PM %d hosts VM %d", p, id)
+					return
+				}
+				seen[int(id)]++
 			}
 		}
 	})
@@ -590,9 +701,9 @@ func (c *Cluster) CheckInvariants() error {
 	}
 	vmErrs := make([]error, chunkCount(len(c.VMs), vmChunk))
 	par.ForChunks(len(c.VMs), vmChunk, c.Workers, func(lo, hi int) {
-		for _, vm := range c.VMs[lo:hi] {
-			if vm.Host >= 0 && seen[vm.ID] != 1 {
-				vmErrs[lo/vmChunk] = fmt.Errorf("dc: VM %d appears on %d PMs", vm.ID, seen[vm.ID])
+		for id := lo; id < hi; id++ {
+			if c.vmHost[id] >= 0 && seen[id] != 1 {
+				vmErrs[lo/vmChunk] = fmt.Errorf("dc: VM %d appears on %d PMs", id, seen[id])
 				return
 			}
 		}
@@ -602,22 +713,31 @@ func (c *Cluster) CheckInvariants() error {
 			return err
 		}
 	}
+	// Reservation caches: fold the cluster-level map into per-PM sums once,
+	// then compare against the cached aggregates chunk-parallel.
+	actualSum := make(map[int32]Vec)
+	actualCount := make(map[int32]int32)
+	for k, d := range c.reservations {
+		actualSum[k.pm] = actualSum[k.pm].Add(d)
+		actualCount[k.pm]++
+	}
 	resErrs := make([]error, pmChunks)
 	par.ForChunks(len(c.PMs), pmChunk, c.Workers, func(lo, hi int) {
-		for _, pm := range c.PMs[lo:hi] {
-			var sum Vec
-			for _, d := range pm.reserved {
-				sum = sum.Add(d)
+		for p := lo; p < hi; p++ {
+			if actualCount[int32(p)] != c.pmResCount[p] {
+				resErrs[lo/pmChunk] = fmt.Errorf("dc: PM %d reservation count drifted: cached %d, actual %d", p, c.pmResCount[p], actualCount[int32(p)])
+				return
 			}
+			sum := actualSum[int32(p)]
 			for r := 0; r < NumResources; r++ {
-				diff := sum[r] - pm.reservedSum[r]
+				diff := sum[r] - c.pmResSum[p][r]
 				if diff < -1e-6 || diff > 1e-6 {
-					resErrs[lo/pmChunk] = fmt.Errorf("dc: PM %d reservedSum drifted: cached %v, actual %v", pm.ID, pm.reservedSum, sum)
+					resErrs[lo/pmChunk] = fmt.Errorf("dc: PM %d reservedSum drifted: cached %v, actual %v", p, c.pmResSum[p], sum)
 					return
 				}
 			}
-			if !pm.on && len(pm.reserved) > 0 {
-				resErrs[lo/pmChunk] = fmt.Errorf("dc: powered-off PM %d holds %d reservations", pm.ID, len(pm.reserved))
+			if !c.pmOn(p) && c.pmResCount[p] > 0 {
+				resErrs[lo/pmChunk] = fmt.Errorf("dc: powered-off PM %d holds %d reservations", p, c.pmResCount[p])
 				return
 			}
 		}

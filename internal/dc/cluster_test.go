@@ -78,7 +78,7 @@ func TestNewDefaults(t *testing.T) {
 func TestPlaceRandomPlacesEveryVM(t *testing.T) {
 	c := newTestCluster(t, 10, 30, 0.3, 0.3)
 	for _, vm := range c.VMs {
-		if vm.Host < 0 {
+		if vm.Host() < 0 {
 			t.Fatalf("VM %d unplaced", vm.ID)
 		}
 	}
@@ -109,7 +109,7 @@ func TestPlaceRandomDeterministic(t *testing.T) {
 		c.PlaceRandom(rng.Intn)
 		out := make([]int, len(c.VMs))
 		for i, vm := range c.VMs {
-			out[i] = vm.Host
+			out[i] = vm.Host()
 		}
 		return out
 	}
@@ -193,8 +193,8 @@ func TestOverloadDetection(t *testing.T) {
 func TestFreeCurAndFitsCur(t *testing.T) {
 	c := newTestCluster(t, 2, 1, 0.5, 0.5)
 	vm := c.VMs[0]
-	src := c.PMs[vm.Host]
-	dst := c.PMs[1-vm.Host]
+	src := c.PMs[vm.Host()]
+	dst := c.PMs[1-vm.Host()]
 	if !c.FitsCur(vm, dst) {
 		t.Fatal("VM should fit empty PM")
 	}
@@ -207,15 +207,15 @@ func TestFreeCurAndFitsCur(t *testing.T) {
 func TestMigrate(t *testing.T) {
 	c := newTestCluster(t, 2, 1, 0.5, 0.5)
 	vm := c.VMs[0]
-	src := c.PMs[vm.Host]
-	dst := c.PMs[1-vm.Host]
+	src := c.PMs[vm.Host()]
+	dst := c.PMs[1-vm.Host()]
 	if err := c.Migrate(vm, dst); err != nil {
 		t.Fatal(err)
 	}
-	if vm.Host != dst.ID || src.NumVMs() != 0 || dst.NumVMs() != 1 {
+	if vm.Host() != dst.ID || src.NumVMs() != 0 || dst.NumVMs() != 1 {
 		t.Fatal("migration did not move the VM")
 	}
-	if vm.Migrations != 1 || c.Migrations != 1 {
+	if vm.MigrationCount() != 1 || c.Migrations != 1 {
 		t.Fatal("migration counters not updated")
 	}
 	if c.MigrationEnergyJ <= 0 {
@@ -243,13 +243,13 @@ func TestMigrate(t *testing.T) {
 func TestMigrateErrors(t *testing.T) {
 	c := newTestCluster(t, 3, 1, 0.5, 0.5)
 	vm := c.VMs[0]
-	cur := c.PMs[vm.Host]
+	cur := c.PMs[vm.Host()]
 	if err := c.Migrate(vm, cur); err == nil {
 		t.Fatal("expected error migrating to same PM")
 	}
 	var other *PM
 	for _, pm := range c.PMs {
-		if pm.ID != vm.Host && pm.NumVMs() == 0 {
+		if pm.ID != vm.Host() && pm.NumVMs() == 0 {
 			other = pm
 		}
 	}
@@ -266,7 +266,7 @@ func TestMigrateUpdatesSLALM(t *testing.T) {
 	vm := c.VMs[0]
 	c.AdvanceRound(1) // accrue requested CPU
 	before := vm.DegradationRatio()
-	if err := c.Migrate(vm, c.PMs[1-vm.Host]); err != nil {
+	if err := c.Migrate(vm, c.PMs[1-vm.Host()]); err != nil {
 		t.Fatal(err)
 	}
 	if vm.DegradationRatio() <= before {
@@ -342,7 +342,7 @@ func TestCachedSumsMatchRecomputation(t *testing.T) {
 			}
 			vm := c.VMs[int(s)%len(c.VMs)]
 			dst := c.PMs[int(s/7)%len(c.PMs)]
-			if dst.ID != vm.Host {
+			if dst.ID != vm.Host() {
 				_ = c.Migrate(vm, dst)
 			}
 		}
@@ -368,7 +368,7 @@ func TestCachedSumsMatchRecomputation(t *testing.T) {
 
 func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 	c := newTestCluster(t, 2, 2, 0.5, 0.5)
-	c.VMs[0].Host = 1 - c.VMs[0].Host // corrupt
+	c.vmHost[0] = 1 - c.vmHost[0] // corrupt
 	if err := c.CheckInvariants(); err == nil {
 		t.Fatal("expected invariant violation")
 	}
@@ -413,30 +413,28 @@ func TestAdvanceRoundWorkerCountBitEquivalence(t *testing.T) {
 		t.Fatalf("OverloadedPMs: %d vs %d", got, want)
 	}
 	for i := range a.PMs {
-		pa, pb := a.PMs[i], b.PMs[i]
 		for res := 0; res < NumResources; res++ {
-			if bits(pa.curSum[res]) != bits(pb.curSum[res]) {
-				t.Fatalf("PM %d curSum[%d] diverges: %x vs %x", i, res, bits(pa.curSum[res]), bits(pb.curSum[res]))
+			if bits(a.pmCurSum[i][res]) != bits(b.pmCurSum[i][res]) {
+				t.Fatalf("PM %d curSum[%d] diverges: %x vs %x", i, res, bits(a.pmCurSum[i][res]), bits(b.pmCurSum[i][res]))
 			}
-			if bits(pa.avgSum[res]) != bits(pb.avgSum[res]) {
+			if bits(a.pmAvgSum[i][res]) != bits(b.pmAvgSum[i][res]) {
 				t.Fatalf("PM %d avgSum[%d] diverges", i, res)
 			}
 		}
-		if bits(pa.energyJ) != bits(pb.energyJ) {
-			t.Fatalf("PM %d energyJ diverges: %x vs %x", i, bits(pa.energyJ), bits(pb.energyJ))
+		if bits(a.pmEnergyJ[i]) != bits(b.pmEnergyJ[i]) {
+			t.Fatalf("PM %d energyJ diverges: %x vs %x", i, bits(a.pmEnergyJ[i]), bits(b.pmEnergyJ[i]))
 		}
-		if pa.activeSeconds != pb.activeSeconds || pa.overloadSeconds != pb.overloadSeconds {
+		if a.pmActiveSec[i] != b.pmActiveSec[i] || a.pmOverloadSec[i] != b.pmOverloadSec[i] {
 			t.Fatalf("PM %d time accounting diverges", i)
 		}
 	}
 	for i := range a.VMs {
-		va, vb := a.VMs[i], b.VMs[i]
 		for res := 0; res < NumResources; res++ {
-			if bits(va.avg[res]) != bits(vb.avg[res]) {
+			if bits(a.vmAvg[i][res]) != bits(b.vmAvg[i][res]) {
 				t.Fatalf("VM %d avg[%d] diverges", i, res)
 			}
 		}
-		if bits(va.requestedCPU) != bits(vb.requestedCPU) {
+		if bits(a.vmRequested[i]) != bits(b.vmRequested[i]) {
 			t.Fatalf("VM %d requestedCPU diverges", i)
 		}
 	}
@@ -463,8 +461,8 @@ func TestCheckInvariantsParallelDetectsCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	vm := c.VMs[0]
-	delete(c.PMs[vm.Host].vms, vm.ID)
-	c.PMs[len(c.PMs)-1].vms[vm.ID] = vm
+	c.hostedRemove(vm.Host(), int32(vm.ID))
+	c.hostedInsert(len(c.PMs)-1, int32(vm.ID))
 	if err := c.CheckInvariants(); err == nil {
 		t.Fatal("corruption in last chunk went undetected")
 	}

@@ -21,27 +21,26 @@ func (c *Cluster) SetLifecycle(id, arrive, depart int) error {
 	if arrive < 0 || (depart >= 0 && depart <= arrive) {
 		return fmt.Errorf("dc: invalid lifecycle [%d, %d)", arrive, depart)
 	}
-	vm := c.VMs[id]
-	if vm.Host >= 0 {
+	if c.vmHost[id] >= 0 {
 		return fmt.Errorf("dc: VM %d already placed; set lifecycles before placement", id)
 	}
-	vm.arrive = arrive
-	vm.depart = depart
+	c.vmArrive[id] = int32(arrive)
+	c.vmDepart[id] = int32(depart)
 	return nil
 }
 
 // Present reports whether the VM is currently part of the cluster (arrived
 // and not yet departed).
-func (v *VM) Present() bool { return v.Host >= 0 }
+func (v *VM) Present() bool { return v.c.vmHost[v.ID] >= 0 }
 
 // Departed reports whether the VM has left the cluster for good.
-func (v *VM) Departed() bool { return v.departed }
+func (v *VM) Departed() bool { return v.c.vmFlags[v.ID]&vmFlagDeparted != 0 }
 
 // PresentVMs returns the number of VMs currently placed.
 func (c *Cluster) PresentVMs() int {
 	n := 0
-	for _, vm := range c.VMs {
-		if vm.Present() {
+	for _, h := range c.vmHost {
+		if h >= 0 {
 			n++
 		}
 	}
@@ -51,27 +50,27 @@ func (c *Cluster) PresentVMs() int {
 // stepLifecycle performs arrivals and departures for round r. Departures
 // run first so freed capacity is available to arrivals in the same round.
 func (c *Cluster) stepLifecycle(r int) {
-	for _, vm := range c.VMs {
-		if vm.Host >= 0 && vm.depart >= 0 && r >= vm.depart {
-			c.detach(vm, c.PMs[vm.Host])
-			vm.Host = -1
-			vm.departed = true
+	for id := range c.VMs {
+		if c.vmHost[id] >= 0 && c.vmDepart[id] >= 0 && r >= int(c.vmDepart[id]) {
+			c.detach(c.VMs[id], c.PMs[c.vmHost[id]])
+			c.vmHost[id] = -1
+			c.vmFlags[id] |= vmFlagDeparted
 		}
 	}
-	for _, vm := range c.VMs {
-		if vm.Host < 0 && !vm.departed && r >= vm.arrive && vm.arrive > 0 {
+	for id := range c.VMs {
+		if c.vmHost[id] < 0 && c.vmFlags[id]&vmFlagDeparted == 0 && r >= int(c.vmArrive[id]) && c.vmArrive[id] > 0 {
 			// The current demand tracks the workload while the VM waits for
 			// a slot, but monitoring restarts only once per arrival: a
 			// placement retry in a later round must not wipe the running
 			// average back to a single sample.
-			sample := c.workload.At(vm.ID, r)
-			vm.Cur = Vec{sample.CPU, sample.Mem}
-			if !vm.seeded {
-				vm.avg = vm.Cur
-				vm.count = 1
-				vm.seeded = true
+			sample := c.workload.At(id, r)
+			c.vmCur[id] = Vec{sample.CPU, sample.Mem}
+			if c.vmFlags[id]&vmFlagSeeded == 0 {
+				c.vmAvg[id] = c.vmCur[id]
+				c.vmCount[id] = 1
+				c.vmFlags[id] |= vmFlagSeeded
 			}
-			if !c.placeArrival(vm) {
+			if !c.placeArrival(c.VMs[id]) {
 				c.FailedPlacements++
 			}
 		}
@@ -88,39 +87,40 @@ func (c *Cluster) placeArrival(vm *VM) bool {
 	if intn == nil {
 		intn = func(n int) int { return int(vm.ID) % n }
 	}
-	allocOf := func(pm *PM) Vec {
+	allocOf := func(p int) Vec {
 		var alloc Vec
-		for _, hosted := range pm.vms {
-			alloc = alloc.Add(hosted.Spec.Capacity)
+		for _, id := range c.pmVMs[p] {
+			alloc = alloc.Add(c.vmCap[id])
 		}
 		return alloc
 	}
 	for attempt := 0; attempt < 2*len(c.PMs); attempt++ {
-		pm := c.PMs[intn(len(c.PMs))]
-		if !pm.on {
+		p := intn(len(c.PMs))
+		pm := c.PMs[p]
+		if !c.pmOn(p) {
 			continue
 		}
-		if allocOf(pm).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
+		if allocOf(p).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
 			c.attach(vm, pm)
 			return true
 		}
 	}
 	start := intn(len(c.PMs))
 	for off := 0; off < len(c.PMs); off++ {
-		pm := c.PMs[(start+off)%len(c.PMs)]
-		if !pm.on {
+		p := (start + off) % len(c.PMs)
+		if !c.pmOn(p) {
 			continue
 		}
-		if allocOf(pm).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
-			c.attach(vm, pm)
+		if allocOf(p).Add(vm.Spec.Capacity).FitsWithin(c.PMs[p].Spec.Capacity) {
+			c.attach(vm, c.PMs[p])
 			return true
 		}
 	}
 	// Over-subscribed: stuff onto any powered PM.
 	for off := 0; off < len(c.PMs); off++ {
-		pm := c.PMs[(start+off)%len(c.PMs)]
-		if pm.on {
-			c.attach(vm, pm)
+		p := (start + off) % len(c.PMs)
+		if c.pmOn(p) {
+			c.attach(vm, c.PMs[p])
 			return true
 		}
 	}

@@ -100,12 +100,12 @@ func TestLifecycleRequestedCPUOnlyWhilePresent(t *testing.T) {
 		t.Fatalf("absent VM accrued degradation ratio %g", got)
 	}
 	// requestedCPU must be zero while absent: Present()==false all along.
-	if c.VMs[0].requestedCPU != 0 {
-		t.Fatalf("absent VM accrued %g requested CPU", c.VMs[0].requestedCPU)
+	if c.vmRequested[0] != 0 {
+		t.Fatalf("absent VM accrued %g requested CPU", c.vmRequested[0])
 	}
 	c.AdvanceRound(10)
 	c.AdvanceRound(11)
-	if c.VMs[0].requestedCPU <= 0 {
+	if c.vmRequested[0] <= 0 {
 		t.Fatal("present VM accrued no requested CPU")
 	}
 }
@@ -172,8 +172,8 @@ func TestLifecycleRetryKeepsRunningAverage(t *testing.T) {
 		t.Fatalf("FailedPlacements = %d, want %d", c.FailedPlacements, wantFailed)
 	}
 	vm := c.VMs[0]
-	if vm.count != 1 {
-		t.Fatalf("monitoring count = %d before placement, want 1", vm.count)
+	if c.vmCount[vm.ID] != 1 {
+		t.Fatalf("monitoring count = %d before placement, want 1", c.vmCount[vm.ID])
 	}
 	// Power back up: round 5 places everyone, later rounds fold samples into
 	// the running average seeded at arrival.
@@ -190,9 +190,9 @@ func TestLifecycleRetryKeepsRunningAverage(t *testing.T) {
 		t.Fatalf("FailedPlacements moved to %d after successful placement", c.FailedPlacements)
 	}
 	c.AdvanceRound(6)
-	if vm.count != 3 {
+	if c.vmCount[vm.ID] != 3 {
 		// Seed at arrival (1) + placement round sample + round 6 sample.
-		t.Fatalf("monitoring count = %d after two placed rounds, want 3", vm.count)
+		t.Fatalf("monitoring count = %d after two placed rounds, want 3", c.vmCount[vm.ID])
 	}
 	if err := c.CheckInvariants(); err != nil {
 		t.Fatal(err)

@@ -10,21 +10,28 @@ import "fmt"
 // (or abort) arrives, or when the target's hold timer expires because the
 // reply was lost. Reservations are keyed by the offer token, so duplicate
 // messages from retries are idempotent.
+//
+// Reservations live in one cluster-level map keyed by (PM, token) — at any
+// instant only the PMs with in-flight offers hold any, so per-PM maps would
+// waste a header per machine. The per-PM aggregate demand and count are
+// cached in flat slices.
 
 // Reserve sets aside demand d on pm under token. Reserving on a powered-off
 // PM or reusing an open token is rejected.
 func (c *Cluster) Reserve(pm *PM, token uint64, d Vec) error {
-	if !pm.on {
+	if !c.pmOn(pm.ID) {
 		return fmt.Errorf("dc: cannot reserve on powered-off PM %d", pm.ID)
 	}
-	if _, open := pm.reserved[token]; open {
+	k := resKey{pm: int32(pm.ID), token: token}
+	if _, open := c.reservations[k]; open {
 		return fmt.Errorf("dc: PM %d already holds reservation %d", pm.ID, token)
 	}
-	if pm.reserved == nil {
-		pm.reserved = make(map[uint64]Vec)
+	if c.reservations == nil {
+		c.reservations = make(map[resKey]Vec)
 	}
-	pm.reserved[token] = d
-	pm.reservedSum = pm.reservedSum.Add(d)
+	c.reservations[k] = d
+	c.pmResSum[pm.ID] = c.pmResSum[pm.ID].Add(d)
+	c.pmResCount[pm.ID]++
 	return nil
 }
 
@@ -32,35 +39,35 @@ func (c *Cluster) Reserve(pm *PM, token uint64, d Vec) error {
 // whether it was open. Releasing an unknown token is a no-op (false), so
 // commit, abort, and timeout may race without double-releasing.
 func (c *Cluster) ReleaseReservation(pm *PM, token uint64) bool {
-	d, open := pm.reserved[token]
+	k := resKey{pm: int32(pm.ID), token: token}
+	d, open := c.reservations[k]
 	if !open {
 		return false
 	}
-	delete(pm.reserved, token)
-	pm.reservedSum = pm.reservedSum.Sub(d)
-	if len(pm.reserved) == 0 {
-		pm.reservedSum = Vec{}
+	delete(c.reservations, k)
+	c.pmResSum[pm.ID] = c.pmResSum[pm.ID].Sub(d)
+	c.pmResCount[pm.ID]--
+	if c.pmResCount[pm.ID] == 0 {
+		// Reset the cache exactly at zero so float cancellation error
+		// cannot accumulate across reserve/release cycles.
+		c.pmResSum[pm.ID] = Vec{}
 	}
 	return true
 }
 
 // Reserved returns pm's aggregate reserved demand.
-func (c *Cluster) Reserved(pm *PM) Vec { return pm.reservedSum }
+func (c *Cluster) Reserved(pm *PM) Vec { return c.pmResSum[pm.ID] }
 
 // OpenReservations counts reservations currently held across the cluster.
 // After a run drains, a leak-free protocol leaves this at zero.
 func (c *Cluster) OpenReservations() int {
-	n := 0
-	for _, pm := range c.PMs {
-		n += len(pm.reserved)
-	}
-	return n
+	return len(c.reservations)
 }
 
 // FreeCurReserved returns the remaining absolute capacity under current
 // demand with open reservations subtracted, clamped at zero.
 func (c *Cluster) FreeCurReserved(pm *PM) Vec {
-	free := c.FreeCur(pm).Sub(pm.reservedSum)
+	free := c.FreeCur(pm).Sub(c.pmResSum[pm.ID])
 	for r := 0; r < NumResources; r++ {
 		if free[r] < 0 {
 			free[r] = 0

@@ -34,6 +34,12 @@ func (a *AggProtocol) Setup(e *sim.Engine, n *sim.Node) any {
 
 // Round implements one active-thread exchange of Algorithm 2.
 func (a *AggProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
+	st := TablesOf(e, n)
+	// Training is over for this node once aggregation runs; its scratch
+	// buffers (a few KB each) are dead weight exactly when the merge unions
+	// drive the run's peak heap, so drop them here. They are append-grown
+	// caches, rebuilt lazily if a continuous-mode re-learning phase follows.
+	st.scratch = learnScratch{}
 	sel := a.Select
 	if sel == nil {
 		sel = gossip.CyclonSelector
@@ -42,7 +48,7 @@ func (a *AggProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	if peer < 0 {
 		return
 	}
-	MergeTables(TablesOf(e, n), TablesOf(e, e.Node(peer)))
+	MergeTables(st, TablesOf(e, e.Node(peer)))
 }
 
 // IOVector adapts a node's φ^io to the map-based convergence

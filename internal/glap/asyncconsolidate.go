@@ -465,7 +465,7 @@ func (p *AsyncConsolidateProtocol) onVerdict(e *sim.Engine, n *sim.Node, from in
 	vm := c.VMs[st.offerVM]
 	dst := c.PMs[st.target]
 	st.done[msg.Token] = true
-	if vm.Host != pm.ID || !dst.On() || c.Migrate(vm, dst) != nil {
+	if vm.Host() != pm.ID || !dst.On() || c.Migrate(vm, dst) != nil {
 		// The VM departed or moved, or the target died after accepting:
 		// abort so the reservation is released promptly.
 		p.Aborts++

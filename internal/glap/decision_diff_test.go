@@ -150,7 +150,7 @@ func TestSelectOfferMatchesBruteForce(t *testing.T) {
 func vmsOn(c *dc.Cluster, pm *dc.PM) []*dc.VM {
 	var vms []*dc.VM
 	for _, vm := range c.VMs {
-		if vm.Host == pm.ID {
+		if vm.Host() == pm.ID {
 			vms = append(vms, vm)
 		}
 	}
@@ -326,8 +326,8 @@ func TestSyncProtocolMatchesCoreReplay(t *testing.T) {
 // same-shaped clusters.
 func diffClusters(a, b *dc.Cluster) error {
 	for i := range a.VMs {
-		if a.VMs[i].Host != b.VMs[i].Host {
-			return fmt.Errorf("vm %d on pm %d vs %d", i, a.VMs[i].Host, b.VMs[i].Host)
+		if a.VMs[i].Host() != b.VMs[i].Host() {
+			return fmt.Errorf("vm %d on pm %d vs %d", i, a.VMs[i].Host(), b.VMs[i].Host())
 		}
 	}
 	for i := range a.PMs {

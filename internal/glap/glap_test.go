@@ -294,7 +294,7 @@ func TestConsolidationEmptiesAndSwitchesOff(t *testing.T) {
 	}
 	// Every VM still placed on a powered PM.
 	for _, vm := range cl.VMs {
-		if vm.Host < 0 || !cl.PMs[vm.Host].On() {
+		if vm.Host() < 0 || !cl.PMs[vm.Host()].On() {
 			t.Fatalf("VM %d lost its host", vm.ID)
 		}
 	}
@@ -344,7 +344,7 @@ func TestConsolidationShedsOverload(t *testing.T) {
 	rng := sim.NewRNG(1)
 	cl.PlaceRandom(rng.Intn)
 	for _, vm := range cl.VMs {
-		if vm.Host != 0 {
+		if vm.Host() != 0 {
 			if err := cl.Migrate(vm, cl.PMs[0]); err != nil {
 				t.Fatal(err)
 			}

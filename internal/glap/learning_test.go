@@ -259,11 +259,15 @@ func TestLearnRoundZeroAlloc(t *testing.T) {
 	e.Register(learn)
 	e.RunRounds(10) // warm up: allocate table backings and scratch
 
-	// Pre-size every node's scratch to its worst case so the measurement
-	// below is a pure steady-state check (a later round can otherwise
-	// legitimately grow a high-water buffer once).
+	// Pre-size every node's scratch and table backings to their worst case
+	// so the measurement below is a pure steady-state check (a later round
+	// can otherwise legitimately grow a high-water buffer once — the compact
+	// cell arrays grow amortised, unlike the retired dense span).
 	for _, n := range e.Nodes() {
-		sc := &TablesOf(e, n).scratch
+		st := TablesOf(e, n)
+		st.Out.Reserve(qlearn.DenseSpan * qlearn.DenseSpan)
+		st.In.Reserve(qlearn.DenseSpan * qlearn.DenseSpan)
+		sc := &st.scratch
 		if cap(sc.ids) < 64 {
 			sc.ids = make([]int, 0, 64)
 		}

@@ -38,7 +38,7 @@ func TestSLAVOCountsOverloadTime(t *testing.T) {
 	// Overloaded single PM: SLAVO = 1 (always at 100%).
 	c := clusterWithDemand(t, 1, 6, 1.0)
 	for _, vm := range c.VMs {
-		if vm.Host != 0 {
+		if vm.Host() != 0 {
 			_ = c.Migrate(vm, c.PMs[0])
 		}
 	}
@@ -62,7 +62,7 @@ func TestSLALMAndSLAV(t *testing.T) {
 		t.Fatal("SLALM should be 0 before any migration")
 	}
 	vm := c.VMs[0]
-	_ = c.Migrate(vm, c.PMs[1-vm.Host])
+	_ = c.Migrate(vm, c.PMs[1-vm.Host()])
 	if SLALM(c) <= 0 {
 		t.Fatal("SLALM should be positive after migration")
 	}
@@ -187,7 +187,7 @@ func (p *pingPongMigrator) Round(e *sim.Engine, n *sim.Node, round int) {
 		return
 	}
 	vm := p.c.VMs[0]
-	dst := p.c.PMs[1-vm.Host]
+	dst := p.c.PMs[1-vm.Host()]
 	if err := p.c.Migrate(vm, dst); err != nil {
 		panic(err)
 	}

@@ -158,7 +158,9 @@ func TestCheapestToMigrate(t *testing.T) {
 		t.Fatal("tie should keep first candidate")
 	}
 	// Make one strictly cheaper.
-	vms[2].Cur[dc.Mem] = 0.01
+	cheap := vms[2].CurDemand()
+	cheap[dc.Mem] = 0.01
+	vms[2].SetCurDemand(cheap)
 	if got := CheapestToMigrate(vms); got != vms[2] {
 		t.Fatal("cheapest VM not selected")
 	}

@@ -7,22 +7,27 @@
 // gossip merge ("average when both know the pair, adopt when only one does")
 // that Algorithm 2's aggregation phase applies.
 //
-// Tables are backed by a dense value array plus a presence bitset, keyed by
-// int(s)*numA + int(a). GLAP's calibrated state/action space is small and
-// fixed — (CPU, MEM) level pairs on the paper's 9-level scale, 81 states ×
-// 81 actions — and the aggregation phase push-pulls full tables at
-// N×rounds frequency, which makes Unify/Equal/Clone the simulation's hot
-// path. The dense layout turns them into branch-light linear scans over
-// aligned slices with zero steady-state allocation; gossip-averaged RL is
-// exactly the repeated-pairwise-merge workload where flat-vector state pays
-// off (Mathkar & Borkar model the iterates as vectors). Keys outside the
-// calibrated span are legal: the backing grows on demand.
+// Tables are backed by a compact sorted cell array — parallel idx/vals
+// slices holding only the written cells of the calibrated 81×81 span, ~10
+// bytes per cell — shared copy-on-write between tables. A pairwise merge
+// (Unify/Merge) leaves both endpoints referencing one backing, so during
+// Algorithm 2's aggregation phase the per-PM tables of an N-node cluster
+// collapse toward N/2 distinct backings instead of N dense arrays. This is
+// what keeps hyperscale runs affordable: a dense 81×81 float64 array costs
+// ~52 KiB per table (≈ 10.5 GB for two tables across 100 000 PMs), while a
+// trained table holds only a few hundred cells and a fully aggregated one a
+// few thousand. Writes to a shared backing copy first; freed backings are
+// recycled through a small pool so the merge loop and post-merge writes stay
+// allocation-free in steady state. Keys outside the calibrated span are
+// legal and spill to an overflow map.
 package qlearn
 
 import (
 	"fmt"
 	"math"
-	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // State is a discrete environment state. GLAP packs a PM's calibrated
@@ -39,41 +44,342 @@ type Key struct {
 	A Action
 }
 
-// DenseSpan is the per-dimension capacity the backing array starts with:
-// GLAP's calibrated level space (9 levels × 2 resources = 81 packed states
-// and actions). The first write allocates DenseSpan×DenseSpan cells, so
-// tables over the calibrated space never reallocate.
+// DenseSpan is the per-dimension size of the calibrated cell space: GLAP's
+// level pairs (9 levels × 2 resources = 81 packed states and actions).
+// Cells inside DenseSpan×DenseSpan live in the sorted backing array; cells
+// beyond it (legal, but absent from calibrated runs) spill to a map.
 const DenseSpan = 81
 
 // Table is a Q-table together with its learning parameters. The zero value
 // is not ready; use New.
 //
-// Storage is dense: q[s*numA+a] holds the value of cell (s, a) and a bitset
-// records which cells have been written. Cells never written hold 0 in q,
-// so reads skip the bitset entirely.
+// Storage is a sorted cell array owned by a reference-counted backing that
+// Unify/Merge share between the two endpoints of a gossip exchange. Reads
+// see the shared cells directly; writes through a table whose backing is
+// shared copy it first (copy-on-write), so tables remain value-independent
+// observationally while converged gossip pairs occupy one allocation.
 type Table struct {
 	// Alpha is the learning rate in (0, 1].
 	Alpha float64
 	// Gamma is the discount factor in [0, 1).
 	Gamma float64
 
-	numS, numA int       // current dense dimensions
-	q          []float64 // len numS*numA; unwritten cells hold 0
-	mask       []uint64  // presence bitset over cell indices
-	n          int       // number of written cells
+	b *backing // nil until the first write
+}
 
-	// rowMax caches MaxKnown per state (NaN = stale). Equation 1 computes
-	// the max over the next state's row on every training update; the
-	// cache turns that from a row scan into a load for the overwhelmingly
-	// common case where updates raise values or miss the row maximum. Set
-	// maintains it incrementally and invalidates a row conservatively when
-	// its maximum may have dropped; Unify and grow invalidate wholesale.
-	rowMax []float64
+// backing is the shared cell store. idx holds the written in-span cells as
+// s*DenseSpan+a in ascending order — (state, action) lexicographic — and
+// vals the matching Q-values. over holds the rare out-of-span cells.
+type backing struct {
+	// ref counts the Tables referencing this backing. It is atomic because
+	// re-learning phases (InstallContinuous) run parallel training rounds on
+	// tables that a previous aggregation phase left sharing backings, and
+	// their first writes race to detach.
+	ref atomic.Int32
+
+	idx  []uint16
+	vals []float64
+	over map[Key]float64
+
+	// idxShared marks idx as an alias of an immutable canonical cell-set
+	// array (see canonicalIdx). Canonical arrays are built with cap==len,
+	// so an insert's append reallocates a private copy automatically; the
+	// flag exists so releases don't recycle a shared array into the pool
+	// and footprint accounting doesn't count it once per aliasing backing.
+	idxShared bool
+
+	// rowMax caches MaxKnown per in-span state (NaN = stale; nil = no cache,
+	// all rows stale). Equation 1 computes the max over the next state's row
+	// on every training update; the cache turns that from a row scan into a
+	// load for the overwhelmingly common case where updates raise values or
+	// miss the row maximum. Set maintains it incrementally and invalidates a
+	// row conservatively when its maximum may have dropped; merges drop the
+	// cache wholesale, which is why it is a lazily allocated pointer rather
+	// than an inline array: only training-phase backings (one per node) ever
+	// refill it, while aggregation mints tens of thousands of merge-union
+	// backings per round that would each carry 648 dead bytes. Only written
+	// while the backing is unshared, so cache fills cannot race between
+	// tables.
+	rowMax *[DenseSpan]float64
+}
+
+var nan = math.NaN()
+
+// minBackingCap is the smallest cell capacity a backing is created with.
+const minBackingCap = 16
+
+func (b *backing) len() int { return len(b.idx) + len(b.over) }
+
+func (b *backing) invalidateRowMax() {
+	b.rowMax = nil
+}
+
+// newRowMax allocates an all-stale cache array.
+func newRowMax() *[DenseSpan]float64 {
+	rm := new([DenseSpan]float64)
+	for i := range rm {
+		rm[i] = nan
+	}
+	return rm
+}
+
+// find binary-searches idx for cell ci, returning the position and whether
+// it is present. Absent cells report the insertion point.
+func (b *backing) find(ci uint16) (int, bool) {
+	lo, hi := 0, len(b.idx)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.idx[mid] < ci {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(b.idx) && b.idx[lo] == ci
+}
+
+// backingPool recycles the building blocks of freed backings — the structs
+// and their two cell arrays — when a merge collapses a pair onto one store
+// or a copy-on-write detaches the last other holder. Aggregation gossip
+// frees up to two backings and takes at most one per exchange, so a small
+// pool keeps the merge loop and the posterior copy-on-write writes
+// allocation-free in steady state without retaining more than a handful of
+// arrays. The three parts are pooled separately because a backing whose
+// cell set was interned (idxShared) surrenders only its vals array; tying
+// the parts together would slowly drain the pool of usable idx capacity.
+var backingPool struct {
+	mu    sync.Mutex
+	nodes []*backing
+	idxs  [][]uint16
+	vals  [][]float64
+}
+
+// poolMax bounds each recycled free list.
+const poolMax = 16
+
+// poolTake removes and returns a pooled array with capacity for need
+// elements, or nil when none fits. Callers hold backingPool.mu.
+func poolTake[T any](free *[][]T, need int) []T {
+	f := *free
+	for i, a := range f {
+		if cap(a) >= need {
+			last := len(f) - 1
+			f[i] = f[last]
+			f[last] = nil
+			*free = f[:last]
+			return a[:0]
+		}
+	}
+	return nil
+}
+
+// poolPutIdx returns a private idx array to the pool; union merges use it
+// when interning hands the backing a canonical array instead of the one it
+// just built.
+func poolPutIdx(a []uint16) {
+	backingPool.mu.Lock()
+	if len(backingPool.idxs) < poolMax {
+		backingPool.idxs = append(backingPool.idxs, a[:0])
+	}
+	backingPool.mu.Unlock()
+}
+
+// Canonical cell-set interning. Once aggregation gossip saturates, every
+// push-pull union across the cluster rebuilds the same cell set — thousands
+// of cells, identical element-for-element in every backing — and the idx
+// arrays become the second-largest term of pretrain's peak heap after the
+// values themselves. canonicalIdx interns one immutable copy of each
+// recurring set and lets backings alias it (see backing.idxShared).
+const (
+	// canonMinCells keeps small tables out of the cache: interning only pays
+	// once a cell set is large enough that aliasing displaces kilobytes, and
+	// the zero-alloc merge tests rely on small backings cycling through the
+	// pool untouched.
+	canonMinCells = 256
+	// canonMaxSets bounds the cache. A converged run needs one entry per
+	// saturated union shape, so a handful suffice; on overflow the map is
+	// dropped wholesale (aliasing backings keep their arrays alive).
+	canonMaxSets = 64
+	// canonSeenMax bounds the seen-once filter before a wholesale reset.
+	canonSeenMax = 4096
+)
+
+var canonIdx struct {
+	mu   sync.Mutex
+	m    map[uint64][]uint16
+	seen map[uint64]struct{}
+}
+
+// canonicalIdx returns an immutable interned copy of idx when the same cell
+// set recurs, or (nil, false) for sets not worth sharing. A set is interned
+// on its second sighting — the ramp phase of aggregation produces a stream
+// of one-off unions that must not pollute the cache, while the converged
+// phase repeats a handful of shapes endlessly. Interned arrays are built
+// with cap==len so an insert's append reallocates a private copy, and their
+// contents are never written after publication, so concurrent readers need
+// no lock.
+func canonicalIdx(idx []uint16) ([]uint16, bool) {
+	if len(idx) < canonMinCells {
+		return nil, false
+	}
+	h := uint64(14695981039346656037) // FNV-1a over the cell indices
+	for _, v := range idx {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	canonIdx.mu.Lock()
+	defer canonIdx.mu.Unlock()
+	if c, ok := canonIdx.m[h]; ok {
+		if len(c) == len(idx) {
+			same := true
+			for i, v := range c {
+				if v != idx[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return c, true
+			}
+		}
+		return nil, false // hash collision: keep the private array
+	}
+	if _, ok := canonIdx.seen[h]; !ok {
+		if len(canonIdx.seen) >= canonSeenMax || canonIdx.seen == nil {
+			canonIdx.seen = make(map[uint64]struct{}, 64)
+		}
+		canonIdx.seen[h] = struct{}{}
+		return nil, false
+	}
+	if len(canonIdx.m) >= canonMaxSets {
+		canonIdx.m = nil
+	}
+	if canonIdx.m == nil {
+		canonIdx.m = make(map[uint64][]uint16, 8)
+	}
+	c := make([]uint16, len(idx))
+	copy(c, idx)
+	canonIdx.m[h] = c
+	return c, true
+}
+
+// capRound picks the cell capacity for a backing that must hold need cells:
+// a small constant headroom rounded to a 64-cell boundary, so successive
+// merge unions (which grow by small steps) keep hitting pooled arrays.
+// Large backings — saturated aggregation unions, where tens of thousands
+// coexist and every slack cell is charged N-fold — round to a 16-cell
+// boundary instead: by then unions repeat at one stable size, so pooled
+// arrays still fit without the headroom.
+func capRound(need int) int {
+	if need < minBackingCap {
+		return minBackingCap
+	}
+	if need >= 2048 {
+		return (need + 15) &^ 15
+	}
+	return (need + 127) &^ 63
+}
+
+// newBacking allocates a fresh unshared backing with room for need cells.
+func newBacking(need int) *backing {
+	c := capRound(need)
+	b := &backing{idx: make([]uint16, 0, c), vals: make([]float64, 0, c)}
+	b.ref.Store(1)
+	b.invalidateRowMax()
+	return b
+}
+
+// acquireBacking returns an empty unshared backing with capacity for need
+// cells, assembled from pooled parts when they fit.
+func acquireBacking(need int) *backing {
+	backingPool.mu.Lock()
+	var b *backing
+	if n := len(backingPool.nodes); n > 0 {
+		b = backingPool.nodes[n-1]
+		backingPool.nodes[n-1] = nil
+		backingPool.nodes = backingPool.nodes[:n-1]
+	}
+	idx := poolTake(&backingPool.idxs, need)
+	vals := poolTake(&backingPool.vals, need)
+	backingPool.mu.Unlock()
+	if b == nil {
+		b = &backing{}
+	}
+	c := capRound(need)
+	if idx == nil {
+		idx = make([]uint16, 0, c)
+	}
+	if vals == nil {
+		vals = make([]float64, 0, c)
+	}
+	b.idx, b.vals, b.over, b.idxShared = idx, vals, nil, false
+	b.ref.Store(1)
+	b.invalidateRowMax()
+	return b
+}
+
+// releaseBacking returns an unreferenced backing's parts to the pool. A
+// canonical (shared) idx array is dropped, not pooled: other backings may
+// still alias it, and pooled arrays get written through.
+func releaseBacking(b *backing) {
+	idx, vals := b.idx, b.vals
+	shared := b.idxShared
+	b.idx, b.vals, b.over, b.idxShared = nil, nil, nil, false
+	backingPool.mu.Lock()
+	if len(backingPool.nodes) < poolMax {
+		backingPool.nodes = append(backingPool.nodes, b)
+	}
+	if !shared && idx != nil && len(backingPool.idxs) < poolMax {
+		backingPool.idxs = append(backingPool.idxs, idx[:0])
+	}
+	if vals != nil && len(backingPool.vals) < poolMax {
+		backingPool.vals = append(backingPool.vals, vals[:0])
+	}
+	backingPool.mu.Unlock()
+}
+
+// deref drops one reference to b, recycling it when no table holds it any
+// more.
+func deref(b *backing) {
+	if b.ref.Add(-1) == 0 {
+		releaseBacking(b)
+	}
+}
+
+// own returns the table's backing ready for writing: it allocates an empty
+// one on first write and detaches (copies) a shared one, with room for
+// extra additional cells.
+func (t *Table) own(extra int) *backing {
+	b := t.b
+	if b == nil {
+		b = newBacking(extra)
+		t.b = b
+		return b
+	}
+	if b.ref.Load() > 1 {
+		nb := acquireBacking(len(b.idx) + extra)
+		nb.idx = append(nb.idx, b.idx...)
+		nb.vals = append(nb.vals, b.vals...)
+		if len(b.over) > 0 {
+			nb.over = make(map[Key]float64, len(b.over))
+			for k, v := range b.over {
+				nb.over[k] = v
+			}
+		}
+		if b.rowMax != nil {
+			rm := *b.rowMax
+			nb.rowMax = &rm
+		}
+		deref(b)
+		t.b = nb
+		return nb
+	}
+	return b
 }
 
 // New returns an empty table with the given learning rate and discount. The
-// backing array is allocated lazily on first write, so never-trained tables
-// (PMs that end the learning phase without Q-values) stay cheap.
+// backing is allocated lazily on first write, so never-trained tables (PMs
+// that end the learning phase without Q-values) stay cheap.
 func New(alpha, gamma float64) *Table {
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("qlearn: alpha %g out of (0,1]", alpha))
@@ -85,158 +391,178 @@ func New(alpha, gamma float64) *Table {
 }
 
 // Len returns the number of (state, action) cells present.
-func (t *Table) Len() int { return t.n }
-
-// Get returns the Q-value for (s, a); missing cells read as 0, matching the
-// optimistic-zero initialisation the paper's reward design assumes. The
-// zero-for-absent invariant of the backing array makes this a pure bounds
-// check plus load.
-func (t *Table) Get(s State, a Action) float64 {
-	si, ai := int(s), int(a)
-	if si >= t.numS || ai >= t.numA {
+func (t *Table) Len() int {
+	if t.b == nil {
 		return 0
 	}
-	return t.q[si*t.numA+ai]
+	return t.b.len()
+}
+
+// inSpan reports whether the cell lives in the sorted in-span array.
+func inSpan(s State, a Action) bool {
+	return int(s) < DenseSpan && int(a) < DenseSpan
+}
+
+// Get returns the Q-value for (s, a); missing cells read as 0, matching the
+// optimistic-zero initialisation the paper's reward design assumes.
+func (t *Table) Get(s State, a Action) float64 {
+	b := t.b
+	if b == nil {
+		return 0
+	}
+	if inSpan(s, a) {
+		if i, ok := b.find(uint16(int(s)*DenseSpan + int(a))); ok {
+			return b.vals[i]
+		}
+		return 0
+	}
+	return b.over[Key{s, a}]
 }
 
 // Has reports whether the cell (s, a) has been written.
 func (t *Table) Has(s State, a Action) bool {
-	si, ai := int(s), int(a)
-	if si >= t.numS || ai >= t.numA {
+	b := t.b
+	if b == nil {
 		return false
 	}
-	i := si*t.numA + ai
-	return t.mask[i>>6]&(1<<uint(i&63)) != 0
+	if inSpan(s, a) {
+		_, ok := b.find(uint16(int(s)*DenseSpan + int(a)))
+		return ok
+	}
+	_, ok := b.over[Key{s, a}]
+	return ok
 }
 
-// Set writes the Q-value for (s, a), growing the backing array when the key
-// falls outside the current dense span. Writes inside the span — the steady
-// state — do not allocate.
+// Set writes the Q-value for (s, a). Writing to a shared backing detaches a
+// private copy first; in-span writes to an owned backing with spare
+// capacity — the training steady state — do not allocate.
 func (t *Table) Set(s State, a Action, v float64) {
-	si, ai := int(s), int(a)
-	if si >= t.numS || ai >= t.numA {
-		t.grow(roundDim(si+1, t.numS), roundDim(ai+1, t.numA))
-	}
-	i := si*t.numA + ai
-	if w, b := i>>6, uint64(1)<<uint(i&63); t.mask[w]&b == 0 {
-		t.mask[w] |= b
-		t.n++
-	}
-	if rm := t.rowMax[si]; rm == rm { // cache valid (not NaN)
-		switch {
-		case v > rm:
-			t.rowMax[si] = v
-		case v < rm && t.q[i] == rm:
-			// The overwritten cell may have been the row maximum (or an
-			// unwritten cell reading as the cached 0 of an empty row);
-			// recompute lazily on the next MaxKnown.
-			t.rowMax[si] = nan
+	if !inSpan(s, a) {
+		b := t.own(0)
+		if b.over == nil {
+			b.over = make(map[Key]float64)
 		}
-	}
-	t.q[i] = v
-}
-
-var nan = math.NaN()
-
-// invalidateRowMax marks every cached row maximum stale.
-func (t *Table) invalidateRowMax() {
-	for i := range t.rowMax {
-		t.rowMax[i] = nan
-	}
-}
-
-// roundDim picks the grown size for one dimension: at least DenseSpan, then
-// doubling, so growth beyond the calibrated space stays amortised.
-func roundDim(need, cur int) int {
-	d := cur
-	if d < DenseSpan {
-		d = DenseSpan
-	}
-	for d < need {
-		d *= 2
-	}
-	return d
-}
-
-// grow reallocates the backing to exactly (ns, na) dimensions, preserving
-// all cells. It is a no-op when the table already spans the request.
-func (t *Table) grow(ns, na int) {
-	if ns <= t.numS && na <= t.numA {
+		b.over[Key{s, a}] = v
 		return
 	}
-	if ns < t.numS {
-		ns = t.numS
+	b := t.own(1)
+	ci := uint16(int(s)*DenseSpan + int(a))
+	i, ok := b.find(ci)
+	old := 0.0
+	if ok {
+		old = b.vals[i]
+	} else {
+		// A canonical (shared) idx array has cap==len, so this append
+		// reallocates a private copy before the in-place shift below.
+		b.idx = append(b.idx, 0)
+		copy(b.idx[i+1:], b.idx[i:])
+		b.idx[i] = ci
+		b.idxShared = false
+		b.vals = append(b.vals, 0)
+		copy(b.vals[i+1:], b.vals[i:])
 	}
-	if na < t.numA {
-		na = t.numA
-	}
-	q := make([]float64, ns*na)
-	mask := make([]uint64, (ns*na+63)/64)
-	for s := 0; s < t.numS; s++ {
-		copy(q[s*na:], t.q[s*t.numA:(s+1)*t.numA])
-	}
-	for _, i := range t.presentIndices() {
-		j := (i/t.numA)*na + i%t.numA
-		mask[j>>6] |= 1 << uint(j&63)
-	}
-	t.numS, t.numA, t.q, t.mask = ns, na, q, mask
-	t.rowMax = make([]float64, ns)
-	t.invalidateRowMax()
-}
-
-// presentIndices returns the raw cell indices of all written cells in
-// ascending order. Only used on the (rare) growth path.
-func (t *Table) presentIndices() []int {
-	out := make([]int, 0, t.n)
-	for w, word := range t.mask {
-		for b := word; b != 0; b &= b - 1 {
-			out = append(out, w<<6+bits.TrailingZeros64(b))
+	if cache := b.rowMax; cache != nil {
+		if rm := cache[s]; rm == rm { // cache valid (not NaN)
+			switch {
+			case v > rm:
+				cache[s] = v
+			case v < rm && old == rm:
+				// The overwritten cell may have been the row maximum (or an
+				// absent cell reading as the cached 0 of an empty row);
+				// recompute lazily on the next MaxKnown.
+				cache[s] = nan
+			}
 		}
 	}
-	return out
+	b.vals[i] = v
+}
+
+// Reserve grows the table's backing to hold at least cells in-span cells
+// without further allocation, detaching from a shared backing if needed.
+// Steady-state-sensitive callers (and the zero-alloc training tests) use it
+// to pre-size tables past their high-water cell count.
+func (t *Table) Reserve(cells int) {
+	b := t.own(0)
+	if !b.idxShared && cap(b.idx) >= cells {
+		return
+	}
+	if cells < len(b.idx) {
+		cells = len(b.idx)
+	}
+	idx := make([]uint16, len(b.idx), cells)
+	copy(idx, b.idx)
+	vals := make([]float64, len(b.vals), cells)
+	copy(vals, b.vals)
+	b.idx, b.vals = idx, vals
+	b.idxShared = false
+}
+
+// rowScanMax returns the maximum over the present in-span cells of row s,
+// 0 when the row has none (the bootstrap value for unseen states).
+func (b *backing) rowScanMax(s int) float64 {
+	lo, _ := b.find(uint16(s * DenseSpan))
+	hi := s*DenseSpan + DenseSpan
+	best, found := 0.0, false
+	for i := lo; i < len(b.idx) && int(b.idx[i]) < hi; i++ {
+		if v := b.vals[i]; !found || v > best {
+			best, found = v, true
+		}
+	}
+	return best
 }
 
 // MaxKnown returns the largest Q-value recorded for state s, or 0 when the
 // state has never been visited (the bootstrap value for unseen states).
-// The row's presence words are walked exactly once, with the first and last
-// word trimmed to the row bounds — this sits inside Equation 1's hot path
-// (one call per training update), where the former per-cell nextPresent
-// scan re-read and re-masked the same words repeatedly.
+// This sits inside Equation 1's hot path (one call per training update);
+// the per-state cache reduces it to a load once the row has been scanned.
+// The cache is only filled while the backing is unshared, so parallel
+// training rounds on post-aggregation tables stay race-free.
 func (t *Table) MaxKnown(s State) float64 {
-	si := int(s)
-	if si >= t.numS {
+	b := t.b
+	if b == nil {
 		return 0
 	}
-	if rm := t.rowMax[si]; rm == rm {
-		return rm
+	if len(b.over) == 0 {
+		if int(s) >= DenseSpan {
+			return 0
+		}
+		if cache := b.rowMax; cache != nil {
+			if rm := cache[s]; rm == rm {
+				return rm
+			}
+		}
+		best := b.rowScanMax(int(s))
+		if b.ref.Load() == 1 {
+			if b.rowMax == nil {
+				b.rowMax = newRowMax()
+			}
+			b.rowMax[s] = best
+		}
+		return best
 	}
-	lo, hi := si*t.numA, (si+1)*t.numA
+	// Out-of-span cells present (test and hostile-checkpoint territory):
+	// combine a full row scan with the overflow cells of the same state.
 	best, found := 0.0, false
-	for w := lo >> 6; w <= (hi-1)>>6; w++ {
-		word := t.mask[w]
-		if word == 0 {
-			continue
-		}
-		base := w << 6
-		if base < lo {
-			word &^= 1<<uint(lo-base) - 1
-		}
-		if base+64 > hi {
-			word &= 1<<uint(hi-base) - 1
-		}
-		for b := word; b != 0; b &= b - 1 {
-			if v := t.q[base+bits.TrailingZeros64(b)]; !found || v > best {
+	if int(s) < DenseSpan {
+		lo, _ := b.find(uint16(int(s) * DenseSpan))
+		hi := int(s)*DenseSpan + DenseSpan
+		for i := lo; i < len(b.idx) && int(b.idx[i]) < hi; i++ {
+			if v := b.vals[i]; !found || v > best {
 				best, found = v, true
 			}
 		}
 	}
-	t.rowMax[si] = best
+	for k, v := range b.over {
+		if k.S == s && (!found || v > best) {
+			best, found = v, true
+		}
+	}
 	return best
 }
 
 // Update applies Equation 1 for the transition (s, a) -> next with observed
-// reward r, and returns the new Q-value. In steady state (both states inside
-// the dense span) it performs no allocation.
+// reward r, and returns the new Q-value. In steady state (owned backing
+// with capacity for the touched cells) it performs no allocation.
 func (t *Table) Update(s State, a Action, r float64, next State) float64 {
 	old := t.Get(s, a)
 	v := (1-t.Alpha)*old + t.Alpha*(r+t.Gamma*t.MaxKnown(next))
@@ -261,29 +587,72 @@ func (t *Table) Best(s State, candidates []Action) (a Action, q float64, ok bool
 	return a, q, true
 }
 
-// Keys returns all written cells in (state, action) order. The dense index
-// s*numA+a is already sorted by (s, a), so this is a single bitset walk.
-func (t *Table) Keys() []Key {
-	keys := make([]Key, 0, t.n)
-	for w, word := range t.mask {
-		for b := word; b != 0; b &= b - 1 {
-			i := w<<6 + bits.TrailingZeros64(b)
-			keys = append(keys, Key{State(i / t.numA), Action(i % t.numA)})
-		}
+// sortedOverKeys returns the overflow cells' keys in (state, action) order.
+func (b *backing) sortedOverKeys() []Key {
+	if len(b.over) == 0 {
+		return nil
 	}
+	keys := make([]Key, 0, len(b.over))
+	for k := range b.over {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].S != keys[j].S {
+			return keys[i].S < keys[j].S
+		}
+		return keys[i].A < keys[j].A
+	})
+	return keys
+}
+
+// keyLess orders cell keys lexicographically by (state, action).
+func keyLess(a, b Key) bool {
+	if a.S != b.S {
+		return a.S < b.S
+	}
+	return a.A < b.A
+}
+
+// cellKey converts an in-span array index entry to its Key.
+func cellKey(ci uint16) Key {
+	return Key{State(ci / DenseSpan), Action(ci % DenseSpan)}
+}
+
+// Keys returns all written cells in (state, action) order: one walk of the
+// sorted in-span array, interleaved with the (rare) overflow cells.
+func (t *Table) Keys() []Key {
+	if t.b == nil {
+		return nil
+	}
+	b := t.b
+	keys := make([]Key, 0, b.len())
+	overs := b.sortedOverKeys()
+	j := 0
+	for _, ci := range b.idx {
+		k := cellKey(ci)
+		for j < len(overs) && keyLess(overs[j], k) {
+			keys = append(keys, overs[j])
+			j++
+		}
+		keys = append(keys, k)
+	}
+	keys = append(keys, overs[j:]...)
 	return keys
 }
 
 // Flat returns the table contents as a sparse map. It is retained as a
 // compatibility adapter for the codec, snapshots and tests; hot paths use
-// the dense backing directly (see FillDense).
+// the backing directly (see FillDense).
 func (t *Table) Flat() map[Key]float64 {
-	out := make(map[Key]float64, t.n)
-	for w, word := range t.mask {
-		for b := word; b != 0; b &= b - 1 {
-			i := w<<6 + bits.TrailingZeros64(b)
-			out[Key{State(i / t.numA), Action(i % t.numA)}] = t.q[i]
-		}
+	out := make(map[Key]float64, t.Len())
+	if t.b == nil {
+		return out
+	}
+	for i, ci := range t.b.idx {
+		out[cellKey(ci)] = t.b.vals[i]
+	}
+	for k, v := range t.b.over {
+		out[k] = v
 	}
 	return out
 }
@@ -300,178 +669,307 @@ func (t *Table) FillDense(dst []float64, numS, numA int) []float64 {
 	for i := range dst[:numS*numA] {
 		dst[i] = 0
 	}
-	cs, ca := t.numS, t.numA
-	if cs > numS {
-		cs = numS
+	if t.b == nil {
+		return dst
 	}
-	if ca > numA {
-		ca = numA
+	for i, ci := range t.b.idx {
+		s, a := int(ci)/DenseSpan, int(ci)%DenseSpan
+		if s < numS && a < numA {
+			dst[s*numA+a] = t.b.vals[i]
+		}
 	}
-	for s := 0; s < cs; s++ {
-		copy(dst[s*numA:s*numA+ca], t.q[s*t.numA:])
+	for k, v := range t.b.over {
+		if int(k.S) < numS && int(k.A) < numA {
+			dst[int(k.S)*numA+int(k.A)] = v
+		}
 	}
 	return dst
 }
 
-// Clone returns a deep copy of the table: two copies of flat slices.
+// Clone returns a deep copy of the table with its own unshared backing.
 func (t *Table) Clone() *Table {
-	c := &Table{Alpha: t.Alpha, Gamma: t.Gamma, numS: t.numS, numA: t.numA, n: t.n}
-	if t.q != nil {
-		c.q = make([]float64, len(t.q))
-		copy(c.q, t.q)
-		c.mask = make([]uint64, len(t.mask))
-		copy(c.mask, t.mask)
-		c.rowMax = make([]float64, len(t.rowMax))
-		copy(c.rowMax, t.rowMax)
+	c := &Table{Alpha: t.Alpha, Gamma: t.Gamma}
+	if t.b != nil {
+		b := t.b
+		nb := newBacking(len(b.idx))
+		nb.idx = append(nb.idx, b.idx...)
+		nb.vals = append(nb.vals, b.vals...)
+		if len(b.over) > 0 {
+			nb.over = make(map[Key]float64, len(b.over))
+			for k, v := range b.over {
+				nb.over[k] = v
+			}
+		}
+		if b.rowMax != nil {
+			rm := *b.rowMax
+			nb.rowMax = &rm
+		}
+		c.b = nb
 	}
 	return c
 }
 
-// Unify merges two tables in place per Algorithm 2's UPDATE: cells present
-// in both become the average of the two values in both tables; cells present
-// in only one are copied to the other. After Unify the tables are equal.
-//
-// With aligned dense backings the merge is one pass over the presence
-// words — averaging where both bits are set, copying where one is — with no
-// per-cell hashing and no allocation once both tables span the same
-// dimensions. Aggregation gossip runs this once per node per round over the
-// full table, so this loop dominates Algorithm 2's cost at cluster scale.
-func Unify(p, q *Table) {
-	if p.numS != q.numS || p.numA != q.numA {
-		ns, na := p.numS, p.numA
-		if q.numS > ns {
-			ns = q.numS
-		}
-		if q.numA > na {
-			na = q.numA
-		}
-		p.grow(ns, na)
-		q.grow(ns, na)
-	}
-	n := 0
-	for w := range p.mask {
-		pw, qw := p.mask[w], q.mask[w]
-		if pw|qw == 0 {
+// Footprint reports the physical memory behind a set of tables: the number
+// of distinct backings (a backing shared by several tables counts once) and
+// the bytes they reserve, including append slack and overflow maps. The
+// scale benchmark uses it to attribute Q-store bytes separately from the
+// rest of the heap; the cells figure is the logical total (shared backings
+// still counted once).
+func Footprint(tables []*Table) (backings int, bytes int64, cells int) {
+	seen := make(map[*backing]struct{}, len(tables))
+	for _, t := range tables {
+		b := t.b
+		if b == nil {
 			continue
 		}
-		base := w << 6
-		for b := pw & qw; b != 0; b &= b - 1 {
-			i := base + bits.TrailingZeros64(b)
-			avg := (p.q[i] + q.q[i]) / 2
-			p.q[i], q.q[i] = avg, avg
+		if _, ok := seen[b]; ok {
+			continue
 		}
-		for b := pw &^ qw; b != 0; b &= b - 1 {
-			i := base + bits.TrailingZeros64(b)
-			q.q[i] = p.q[i]
+		seen[b] = struct{}{}
+		backings++
+		cells += b.len()
+		if !b.idxShared {
+			// A canonical cell-set array is aliased by many backings; it is
+			// excluded here rather than charged to each aliaser (at most
+			// canonMaxSets such arrays exist process-wide).
+			bytes += int64(cap(b.idx)) * 2
 		}
-		for b := qw &^ pw; b != 0; b &= b - 1 {
-			i := base + bits.TrailingZeros64(b)
-			p.q[i] = q.q[i]
+		bytes += int64(cap(b.vals))*8 + int64(len(b.over))*32
+		if b.rowMax != nil {
+			bytes += int64(len(b.rowMax)) * 8
 		}
-		u := pw | qw
-		p.mask[w], q.mask[w] = u, u
-		n += bits.OnesCount64(u)
 	}
-	p.n, q.n = n, n
-	// Averaging and adoption rewrite cells behind Set's back; drop both
-	// caches rather than track maxima through the merge.
-	p.invalidateRowMax()
-	q.invalidateRowMax()
+	return backings, bytes, cells
 }
 
-// Merge is Unify fused with the change check: one pass that averages and
-// adopts exactly like Unify but writes a cell only when its value actually
-// changes, and reports whether anything did. Callers that previously ran
+// Unify merges two tables in place per Algorithm 2's UPDATE: cells present
+// in both become the average of the two values in both tables; cells present
+// in only one are copied to the other. After Unify the tables are equal —
+// and share one backing, which is what bounds aggregation-phase memory at
+// cluster scale (see the package comment).
+func Unify(p, q *Table) {
+	mergeTables(p, q)
+}
+
+// Merge is Unify fused with the change check: the same post-merge state,
+// plus a report of whether any cell changed. Callers that previously ran
 // Equal-then-Unify paid two nearly-full scans per exchange once gossip
-// neared convergence (Equal fails late, then Unify rewrites everything);
-// Merge keeps the single-scan cost bound and leaves already-agreeing cells'
-// cachelines clean. Post-merge state is identical to Unify's, and the rowMax
-// caches survive a no-op merge (the tables did not change).
+// neared convergence; Merge's scan doubles as the equality check, and a
+// no-op merge of already-equal tables just collapses them onto one backing.
 func Merge(p, q *Table) bool {
-	if p.numS != q.numS || p.numA != q.numA {
-		// Misaligned backings (tables grown past the calibrated span at
-		// different times) take the slow path; after one Unify the pair is
-		// aligned for good.
-		if Equal(p, q) {
-			return false
-		}
-		Unify(p, q)
-		return true
+	return mergeTables(p, q)
+}
+
+// overUnion merges the overflow maps of pb and qb into dst (which may be
+// pb's or qb's own map when writing in place is safe).
+func overUnion(pb, qb *backing) map[Key]float64 {
+	if len(pb.over) == 0 && len(qb.over) == 0 {
+		return nil
 	}
-	changed := false
-	n := 0
-	for w := range p.mask {
-		pw, qw := p.mask[w], q.mask[w]
-		u := pw | qw
-		if u == 0 {
-			continue
+	out := make(map[Key]float64, len(pb.over)+len(qb.over))
+	for k, v := range pb.over {
+		out[k] = v
+	}
+	for k, v := range qb.over {
+		if pv, ok := out[k]; ok {
+			if pv != v {
+				out[k] = (pv + v) / 2
+			}
+		} else {
+			out[k] = v
 		}
-		base := w << 6
-		for b := pw & qw; b != 0; b &= b - 1 {
-			i := base + bits.TrailingZeros64(b)
-			if pv, qv := p.q[i], q.q[i]; pv != qv {
-				avg := (pv + qv) / 2
-				p.q[i], q.q[i] = avg, avg
-				changed = true
+	}
+	return out
+}
+
+// mergeTables implements Unify/Merge. It returns whether any cell of either
+// table changed (equivalently: whether the tables differed).
+//
+// Ownership outcomes, chosen so every merge leaves the pair sharing one
+// backing (a push-pull merge makes both sides identical, so anything else
+// duplicates converging state N-fold across a gossiping cluster) while the
+// recycling pool keeps the steady-state merge loop allocation-free:
+//   - already sharing (or both empty): no-op.
+//   - equal content: the pair collapses onto one backing, freeing the other.
+//   - equal cell sets, at least one side unshared: averages are written into
+//     an unshared backing, which the other table adopts; a displaced owned
+//     backing returns to the pool.
+//   - differing cell sets (or both backings shared): the union is built into
+//     a recycled or fresh backing that both tables adopt.
+func mergeTables(p, q *Table) bool {
+	pb, qb := p.b, q.b
+	if pb == qb {
+		return false // same backing (or both nil): already equal
+	}
+	if pb == nil {
+		p.b = qb
+		qb.ref.Add(1)
+		return qb.len() > 0
+	}
+	if qb == nil {
+		q.b = pb
+		pb.ref.Add(1)
+		return pb.len() > 0
+	}
+
+	// One comparison scan: union size, set equality, value equality.
+	pi, qi := pb.idx, qb.idx
+	union, i, j := 0, 0, 0
+	valsEqual := true
+	for i < len(pi) && j < len(qi) {
+		switch {
+		case pi[i] == qi[j]:
+			if pb.vals[i] != qb.vals[j] {
+				valsEqual = false
+			}
+			i++
+			j++
+		case pi[i] < qi[j]:
+			i++
+		default:
+			j++
+		}
+		union++
+	}
+	union += len(pi) - i + len(qi) - j
+	setsEqual := union == len(pi) && union == len(qi)
+
+	overSetsEqual, overEqual := true, true
+	if len(pb.over) != len(qb.over) {
+		overSetsEqual, overEqual = false, false
+	} else {
+		for k, v := range pb.over {
+			qv, ok := qb.over[k]
+			if !ok {
+				overSetsEqual, overEqual = false, false
+				break
+			}
+			if qv != v {
+				overEqual = false
 			}
 		}
-		for b := pw &^ qw; b != 0; b &= b - 1 {
-			i := base + bits.TrailingZeros64(b)
-			q.q[i] = p.q[i]
-		}
-		for b := qw &^ pw; b != 0; b &= b - 1 {
-			i := base + bits.TrailingZeros64(b)
-			p.q[i] = q.q[i]
-		}
-		if pw != qw {
-			p.mask[w], q.mask[w] = u, u
-			changed = true
-		}
-		n += bits.OnesCount64(u)
 	}
-	p.n, q.n = n, n
-	if changed {
-		p.invalidateRowMax()
-		q.invalidateRowMax()
+
+	if setsEqual && valsEqual && overEqual {
+		// Identical content: collapse the pair onto p's backing.
+		q.b = pb
+		pb.ref.Add(1)
+		deref(qb)
+		return false
 	}
-	return changed
+
+	pOwned := pb.ref.Load() == 1
+	qOwned := qb.ref.Load() == 1
+
+	if setsEqual && overSetsEqual {
+		if pOwned || qOwned {
+			// Write averages into an unshared side and have the other table
+			// adopt it, so the pair leaves the merge sharing one backing.
+			// (An earlier revision dual-wrote averages into both owned
+			// backings; that kept every node's table privately backed
+			// through the whole aggregation phase — both sides of a
+			// push-pull merge hold identical content afterwards, and at
+			// cluster scale the N-fold duplication was the dominant term of
+			// pretrain's peak heap.)
+			d, o, other := pb, qb, q
+			if !pOwned {
+				d, o, other = qb, pb, p
+			}
+			for i := range d.vals {
+				if dv, ov := d.vals[i], o.vals[i]; dv != ov {
+					d.vals[i] = (dv + ov) / 2
+				}
+			}
+			for k, v := range d.over {
+				if ov := o.over[k]; ov != v {
+					d.over[k] = (v + ov) / 2
+				}
+			}
+			d.invalidateRowMax()
+			other.b = d
+			d.ref.Add(1)
+			deref(o)
+			return true
+		}
+	}
+
+	// Differing cell sets or both backings shared: build the union into a
+	// destination both tables adopt.
+	d := acquireBacking(union)
+	d.idx = d.idx[:union]
+	d.vals = d.vals[:union]
+	i, j = 0, 0
+	for k := 0; k < union; k++ {
+		switch {
+		case i < len(pi) && j < len(qi) && pi[i] == qi[j]:
+			v := pb.vals[i]
+			if qv := qb.vals[j]; v != qv {
+				v = (v + qv) / 2
+			}
+			d.idx[k], d.vals[k] = pi[i], v
+			i++
+			j++
+		case j >= len(qi) || (i < len(pi) && pi[i] < qi[j]):
+			d.idx[k], d.vals[k] = pi[i], pb.vals[i]
+			i++
+		default:
+			d.idx[k], d.vals[k] = qi[j], qb.vals[j]
+			j++
+		}
+	}
+	d.over = overUnion(pb, qb)
+	// Converged unions rebuild the same saturated cell set on every exchange;
+	// alias it to one interned copy and recycle the freshly built array
+	// (2 bytes/cell reclaimed per backing, cluster-wide).
+	if c, ok := canonicalIdx(d.idx); ok {
+		old := d.idx
+		d.idx, d.idxShared = c, true
+		poolPutIdx(old)
+	}
+	deref(pb)
+	deref(qb)
+	p.b, q.b = d, d
+	d.ref.Store(2)
+	return true
 }
 
 // Equal reports whether two tables hold exactly the same cells and values.
-// It exits on the first difference. For tables with aligned backings — the
-// invariable case once aggregation gossip has run — it is two linear slice
-// scans.
+// A pair sharing one backing — the invariable case once aggregation gossip
+// has merged them — is equal by identity; otherwise two slice scans.
 func Equal(p, q *Table) bool {
-	if p.n != q.n {
+	pb, qb := p.b, q.b
+	if pb == qb {
+		return true
+	}
+	pl, ql := 0, 0
+	if pb != nil {
+		pl = pb.len()
+	}
+	if qb != nil {
+		ql = qb.len()
+	}
+	if pl != ql {
 		return false
 	}
-	if p.n == 0 {
+	if pl == 0 {
 		return true
 	}
-	if p.numS == q.numS && p.numA == q.numA {
-		for w := range p.mask {
-			if p.mask[w] != q.mask[w] {
-				return false
-			}
-		}
-		// Unwritten cells hold 0 on both sides, so whole-array comparison
-		// is exact.
-		for i := range p.q {
-			if p.q[i] != q.q[i] {
-				return false
-			}
-		}
-		return true
+	if len(pb.idx) != len(qb.idx) {
+		return false
 	}
-	// Dimensions differ (tables grown past the calibrated span at different
-	// times): compare cell-wise. n equality above rules out extras in q.
-	for w, word := range p.mask {
-		for b := word; b != 0; b &= b - 1 {
-			i := w<<6 + bits.TrailingZeros64(b)
-			s, a := State(i/p.numA), Action(i%p.numA)
-			if !q.Has(s, a) || q.Get(s, a) != p.q[i] {
-				return false
-			}
+	for i := range pb.idx {
+		if pb.idx[i] != qb.idx[i] {
+			return false
+		}
+	}
+	for i := range pb.vals {
+		if pb.vals[i] != qb.vals[i] {
+			return false
+		}
+	}
+	for k, v := range pb.over {
+		if qv, ok := qb.over[k]; !ok || qv != v {
+			return false
 		}
 	}
 	return true

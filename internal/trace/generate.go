@@ -210,7 +210,15 @@ type pattern struct {
 }
 
 func newPattern(rng *sim.RNG, arch Archetype, mean float64, cfg GenConfig) *pattern {
-	p := &pattern{arch: arch, mean: mean}
+	p := makePattern(rng, arch, mean, cfg)
+	return &p
+}
+
+// makePattern is newPattern as a value: the streaming source embeds pattern
+// state directly in its per-VM record instead of chasing a pointer. Draw
+// order is identical to the materialised generator's.
+func makePattern(rng *sim.RNG, arch Archetype, mean float64, cfg GenConfig) pattern {
+	p := pattern{arch: arch, mean: mean}
 	switch arch {
 	case Stable:
 	case Diurnal:

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+)
+
+// diffConfigs are the generator configurations the streaming/materialised
+// differential sweeps: every archetype is exercised by the default mix, and
+// the all-one-archetype mixes pin each state machine individually.
+func diffConfigs() []GenConfig {
+	cfgs := []GenConfig{
+		DefaultGenConfig(64, 96, 1),
+		DefaultGenConfig(48, 720, 0xfeed),
+	}
+	short := DefaultGenConfig(32, 120, 7)
+	short.DayRounds = 48
+	cfgs = append(cfgs, short)
+	for a := Archetype(0); a < numArchetypes; a++ {
+		c := DefaultGenConfig(16, 200, 0x9000+uint64(a))
+		c.Mix = map[Archetype]float64{a: 1}
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+func sampleEq(a, b Sample) bool {
+	return math.Float64bits(a.CPU) == math.Float64bits(b.CPU) &&
+		math.Float64bits(a.Mem) == math.Float64bits(b.Mem)
+}
+
+// TestStreamingMatchesMaterialised locks the streaming source to the
+// materialised generator sample-for-sample, bit-for-bit, across archetypes,
+// seeds, day lengths and access orders.
+func TestStreamingMatchesMaterialised(t *testing.T) {
+	for _, cfg := range diffConfigs() {
+		mat, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("Generate: %v", err)
+		}
+		str, err := GenerateStreaming(cfg)
+		if err != nil {
+			t.Fatalf("GenerateStreaming: %v", err)
+		}
+		if !str.Streaming() || mat.Streaming() {
+			t.Fatalf("mode flags wrong: streaming=%v materialised=%v", str.Streaming(), mat.Streaming())
+		}
+		if str.NumVMs() != mat.NumVMs() || str.Rounds() != mat.Rounds() {
+			t.Fatalf("shape mismatch: (%d,%d) vs (%d,%d)", str.NumVMs(), str.Rounds(), mat.NumVMs(), mat.Rounds())
+		}
+		for vm := 0; vm < mat.NumVMs(); vm++ {
+			if str.ArchetypeOf(vm) != mat.ArchetypeOf(vm) {
+				t.Fatalf("seed %d vm %d: archetype %v != %v", cfg.Seed, vm, str.ArchetypeOf(vm), mat.ArchetypeOf(vm))
+			}
+			// In-order replay, with the simulator's double-query of each
+			// round (seed + refresh).
+			for r := 0; r < cfg.Rounds; r++ {
+				got := str.At(vm, r)
+				if again := str.At(vm, r); !sampleEq(got, again) {
+					t.Fatalf("seed %d vm %d r %d: repeat query changed sample", cfg.Seed, vm, r)
+				}
+				if want := mat.At(vm, r); !sampleEq(got, want) {
+					t.Fatalf("seed %d vm %d r %d: %+v != %+v", cfg.Seed, vm, r, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStreamingGapAndWrapAccess exercises the lifecycle access pattern:
+// rounds skipped while a VM has not yet arrived, repeats, wrap-around past
+// the series end, and backward seeks when a fresh cluster replays the Set.
+func TestStreamingGapAndWrapAccess(t *testing.T) {
+	cfg := DefaultGenConfig(40, 72, 0xabcde)
+	mat, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	str, err := GenerateStreaming(cfg)
+	if err != nil {
+		t.Fatalf("GenerateStreaming: %v", err)
+	}
+	rng := sim.NewRNG(99)
+	for vm := 0; vm < cfg.VMs; vm++ {
+		r := 0
+		// Monotone-with-gaps walk well past one wrap.
+		for r < 3*cfg.Rounds {
+			if want, got := mat.At(vm, r), str.At(vm, r); !sampleEq(got, want) {
+				t.Fatalf("vm %d r %d: %+v != %+v", vm, r, got, want)
+			}
+			if rng.Bernoulli(0.3) { // linger: re-query the same round
+				continue
+			}
+			r += 1 + rng.Intn(7)
+		}
+		// Backward seek (fresh cluster replaying round 0).
+		if want, got := mat.At(vm, 0), str.At(vm, 0); !sampleEq(got, want) {
+			t.Fatalf("vm %d: backward seek to round 0: %+v != %+v", vm, got, want)
+		}
+	}
+}
+
+// TestStreamingSeriesAndMean pins the whole-series views used by tooling.
+func TestStreamingSeriesAndMean(t *testing.T) {
+	cfg := DefaultGenConfig(24, 150, 0x5151)
+	mat, _ := Generate(cfg)
+	str, _ := GenerateStreaming(cfg)
+	// Advance some live cursors first; Series must not disturb them.
+	str.At(3, 17)
+	for vm := 0; vm < cfg.VMs; vm++ {
+		ms, ss := mat.Series(vm), str.Series(vm)
+		if len(ms) != len(ss) {
+			t.Fatalf("vm %d: series length %d != %d", vm, len(ss), len(ms))
+		}
+		for r := range ms {
+			if !sampleEq(ms[r], ss[r]) {
+				t.Fatalf("vm %d r %d: %+v != %+v", vm, r, ss[r], ms[r])
+			}
+		}
+	}
+	if want, got := mat.At(3, 17), str.At(3, 17); !sampleEq(got, want) {
+		t.Fatalf("live cursor disturbed by Series: %+v != %+v", got, want)
+	}
+	mc, mm := mat.MeanUtilisation()
+	sc, sm := str.MeanUtilisation()
+	if math.Float64bits(mc) != math.Float64bits(sc) || math.Float64bits(mm) != math.Float64bits(sm) {
+		t.Fatalf("MeanUtilisation: (%v,%v) != (%v,%v)", sc, sm, mc, mm)
+	}
+}
+
+// TestStreamingConcurrentDisjointVMs drives disjoint VM chunks from
+// concurrent goroutines, the cluster refresh's access pattern. Run under
+// -race this proves per-VM state independence.
+func TestStreamingConcurrentDisjointVMs(t *testing.T) {
+	cfg := DefaultGenConfig(64, 90, 0xc0ffee)
+	mat, _ := Generate(cfg)
+	str, _ := GenerateStreaming(cfg)
+	const chunk = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, cfg.VMs)
+	for lo := 0; lo < cfg.VMs; lo += chunk {
+		hi := lo + chunk
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for r := 0; r < 2*cfg.Rounds; r++ {
+				for vm := lo; vm < hi; vm++ {
+					if want, got := mat.At(vm, r), str.At(vm, r); !sampleEq(got, want) {
+						errs <- "mismatch"
+						return
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
+	}
+}

@@ -71,17 +71,41 @@ type Set struct {
 	rounds int
 	series [][]Sample
 	arch   []Archetype
+
+	// Streaming mode (series == nil): samples are synthesised on demand
+	// from compact per-VM state instead of materialised slices. See
+	// stream.go.
+	streams   []vmStream
+	streamCfg GenConfig
+	basePhase float64
 }
 
 // NumVMs returns the number of VM series in the set.
-func (s *Set) NumVMs() int { return len(s.series) }
+func (s *Set) NumVMs() int {
+	if s.streams != nil {
+		return len(s.streams)
+	}
+	return len(s.series)
+}
 
 // Rounds returns the series length.
 func (s *Set) Rounds() int { return s.rounds }
 
+// Streaming reports whether samples are synthesised on demand rather than
+// held in materialised per-VM slices.
+func (s *Set) Streaming() bool { return s.streams != nil }
+
 // At returns VM vm's demand sample at round r. Rounds beyond the series
 // length wrap around, so simulations may run longer than the trace.
+//
+// For streaming sets, At advances VM vm's synthesis state; callers may
+// query distinct VMs concurrently but must not query the same VM from two
+// goroutines at once. Materialised sets are read-only and safe for any
+// concurrent access.
 func (s *Set) At(vm, r int) Sample {
+	if s.streams != nil {
+		return s.streamAt(vm, r)
+	}
 	ser := s.series[vm]
 	return ser[r%len(ser)]
 }
@@ -95,18 +119,39 @@ func (s *Set) ArchetypeOf(vm int) Archetype {
 	return s.arch[vm]
 }
 
-// Series returns the raw series for VM vm. Callers must not modify it.
-func (s *Set) Series(vm int) []Sample { return s.series[vm] }
+// Series returns the full series for VM vm. For materialised sets this is
+// the raw backing slice and callers must not modify it; streaming sets
+// synthesise a fresh copy (without disturbing the live cursor), so the
+// caller owns it.
+func (s *Set) Series(vm int) []Sample {
+	if s.streams != nil {
+		return s.streamSeries(vm)
+	}
+	return s.series[vm]
+}
 
 // MeanUtilisation returns the average CPU and memory utilisation over all
 // VMs and rounds.
 func (s *Set) MeanUtilisation() (cpu, mem float64) {
 	var n float64
-	for _, ser := range s.series {
-		for _, sm := range ser {
-			cpu += sm.CPU
-			mem += sm.Mem
-			n++
+	if s.streams != nil {
+		for vm := range s.streams {
+			st := s.streams[vm]
+			st.resetHeader(s.arch[vm], &s.streamCfg, s.basePhase)
+			for t := 0; t < s.rounds; t++ {
+				sm := st.step(&s.streamCfg, t)
+				cpu += sm.CPU
+				mem += sm.Mem
+				n++
+			}
+		}
+	} else {
+		for _, ser := range s.series {
+			for _, sm := range ser {
+				cpu += sm.CPU
+				mem += sm.Mem
+				n++
+			}
 		}
 	}
 	if n == 0 {
