@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), robust (async consolidation under loss × latency), scale (per-stage wall time across cluster sizes and worker counts), or learn (fused vs reference training-kernel comparison)")
+	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), robust (async consolidation under loss × latency), scale (per-stage wall time across cluster sizes and worker counts), learn (fused vs reference training-kernel comparison), or scenarios (crash-churn / hetero / topology / real-trace suite)")
 	sizes := flag.String("sizes", "100", "comma-separated cluster sizes")
 	ratios := flag.String("ratios", "2,3,4", "comma-separated VM:PM ratios")
 	rounds := flag.Int("rounds", 240, "consolidation rounds (2 simulated minutes each)")
@@ -39,6 +39,9 @@ func main() {
 	scaleSizesFlag := flag.String("scale-sizes", "", "comma-separated cluster sizes for -exp scale (empty = built-in grid up to 100k PMs)")
 	learnOut := flag.String("learn-out", "BENCH_learn.json", "output path for the -exp learn report")
 	learnIters := flag.Int("learn-iters", 2_000_000, "training iterations per kernel measurement for -exp learn")
+	scenOut := flag.String("scen-out", "BENCH_scenarios.json", "output path for the -exp scenarios report")
+	scenSizes := flag.String("scen-sizes", "40,80", "comma-separated cluster sizes for -exp scenarios")
+	scenRounds := flag.Int("scen-rounds", 60, "consolidation rounds per scenario run for -exp scenarios")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -101,6 +104,13 @@ func main() {
 
 	if want["learn"] {
 		runLearn(*seed, *learnIters, *learnOut)
+		if len(want) == 1 {
+			return
+		}
+	}
+
+	if want["scenarios"] {
+		runScenarios(*seed, *scenRounds, *workers, parseInts(*scenSizes), *scenOut)
 		if len(want) == 1 {
 			return
 		}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	glapsim "github.com/glap-sim/glap"
+)
+
+// scenarioReport is the BENCH_scenarios.json document: configuration echo
+// plus one row per scenario × size.
+type scenarioReport struct {
+	Sizes  []int                 `json:"sizes"`
+	Ratio  int                   `json:"ratio"`
+	Rounds int                   `json:"rounds"`
+	Seed   uint64                `json:"seed"`
+	Rows   []glapsim.ScenarioRow `json:"rows"`
+}
+
+// runScenarios is the `-exp scenarios` mode: the failure/heterogeneity/
+// topology/real-trace suite.
+func runScenarios(seed uint64, rounds, workers int, sizes []int, outPath string) {
+	cfg := glapsim.ScenarioConfig{
+		Sizes: sizes, Rounds: rounds, Seed: seed, Workers: workers,
+	}
+	fmt.Printf("== scenario suite: sizes=%v rounds=%d seed=%d ==\n", sizes, rounds, seed)
+	rows, err := glapsim.RunScenarios(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scenario\tpms\tpolicy\tslav\tenergy kWh\tmigrations\tactive\tnotes")
+	for _, r := range rows {
+		notes := ""
+		switch r.Scenario {
+		case string(glapsim.ScenarioCrashChurn):
+			warm, cold := "-", "-"
+			if r.WarmReconvergeRounds != nil {
+				warm = fmt.Sprintf("%.1f", *r.WarmReconvergeRounds)
+			}
+			if r.ColdReconvergeRounds != nil {
+				cold = fmt.Sprintf("%.1f", *r.ColdReconvergeRounds)
+			}
+			notes = fmt.Sprintf("crashes=%d evac=%d stranded=%d warm/cold reconverge=%s/%s rounds",
+				r.Crashes, r.Evacuated, r.Stranded, warm, cold)
+		case string(glapsim.ScenarioTopology):
+			notes = fmt.Sprintf("switch %.0f W, net %.3f kWh", r.MeanSwitchPowerW, r.NetworkEnergyKWh)
+		case string(glapsim.ScenarioRealTrace):
+			notes = fmt.Sprintf("trace %d VMs × %d rounds via CSV", r.TraceVMs, r.TraceRounds)
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%.3g\t%.3f\t%d\t%d\t%s\n",
+			r.Scenario, r.PMs, r.Policy, r.SLAV, r.EnergyKWh, r.Migrations, r.ActivePMs, notes)
+	}
+	w.Flush()
+
+	report := scenarioReport{
+		Sizes: sizes, Ratio: 2, Rounds: rounds, Seed: seed, Rows: rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(outPath, append(buf, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s (%d rows)\n", outPath, len(rows))
+}

@@ -160,8 +160,13 @@ type NetConfig struct {
 	// DropProb is the per-message loss probability.
 	DropProb float64
 	// OfferTimeout bounds each request stage of the offer handshake in
-	// virtual time; 0 defaults to 2×RoundPeriod + 4×Latency.
+	// virtual time; 0 defaults to 2×RoundPeriod + 4×MaxLatency (the base
+	// latency, tripled when TopoLatency is on).
 	OfferTimeout int64
+	// TopoLatency scales each message's delay by the topology's path length
+	// (×1 in-rack, ×2 cross-rack, ×3 cross-pod) instead of a constant
+	// Latency. Requires RackSize > 0.
+	TopoLatency bool
 }
 
 // Validate reports configuration errors.
@@ -192,6 +197,9 @@ func (x *Experiment) Validate() error {
 	}
 	if x.TopologyAware && x.RackSize == 0 {
 		return fmt.Errorf("glapsim: TopologyAware requires RackSize > 0")
+	}
+	if x.Net.TopoLatency && x.RackSize == 0 {
+		return fmt.Errorf("glapsim: Net.TopoLatency requires RackSize > 0")
 	}
 	if x.VMChurn < 0 || x.VMChurn > 1 {
 		return fmt.Errorf("glapsim: VMChurn %g out of [0,1]", x.VMChurn)
@@ -306,11 +314,53 @@ const (
 	seedEngine seedPurpose = 4
 	// seedChurn drives VM lifecycle churn (arrival/departure rounds).
 	seedChurn seedPurpose = 5
+	// seedFaults drives PM crash/recovery schedules (victim choice and
+	// crash rounds) in the failure scenarios.
+	seedFaults seedPurpose = 6
 )
 
 // deriveSeed mixes a purpose tag into an experiment seed.
 func deriveSeed(seed uint64, purpose seedPurpose) uint64 {
 	return sim.NewRNG(seed).Derive(uint64(purpose)).Uint64()
+}
+
+// prepareStack assembles one fully wired run: an identically placed cluster
+// for the experiment's seed, a fresh engine, the cluster binding, the
+// topology model, the overlay (when the policy's spec wants one) and the
+// policy stack itself. Run, the robustness grid and the scenario suite all
+// build their paired runs through this one path, so two calls with the same
+// Experiment and workload differ in nothing but what the caller installs on
+// top (metrics, fault plans, per-node table stores).
+func prepareStack(x Experiment, w *trace.Set, shared *glap.NodeTables) (*dc.Cluster, *sim.Engine, *StackContext, error) {
+	spec, ok := policySpec(x.Policy)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("glapsim: unknown policy %q", x.Policy)
+	}
+	c, err := buildCluster(x, w)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	c.Workers = x.Workers
+	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
+	e.Workers = x.Workers
+	b, err := policy.Bind(e, c)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	tree, err := x.tree()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ctx := &StackContext{X: x, E: e, B: b, Tables: shared, Tree: tree, Artifacts: &StackArtifacts{}}
+	if spec.Overlay {
+		if ctx.Select, err = overlayFor(x, e); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if err := spec.Build(ctx); err != nil {
+		return nil, nil, nil, err
+	}
+	return c, e, ctx, nil
 }
 
 // Run executes one replication of the experiment and returns its result.
@@ -361,37 +411,15 @@ func Run(x Experiment) (*Result, error) {
 		}
 	}
 
-	c, err := buildCluster(x, w)
+	c, e, ctx, err := prepareStack(x, w, shared)
 	if err != nil {
-		return nil, err
-	}
-	c.Workers = x.Workers
-	e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
-	e.Workers = x.Workers
-	b, err := policy.Bind(e, c)
-	if err != nil {
-		return nil, err
-	}
-
-	tree, err := x.tree()
-	if err != nil {
-		return nil, err
-	}
-
-	ctx := &StackContext{X: x, E: e, B: b, Tables: shared, Tree: tree, Artifacts: &StackArtifacts{}}
-	if spec.Overlay {
-		if ctx.Select, err = overlayFor(x, e); err != nil {
-			return nil, err
-		}
-	}
-	if err := spec.Build(ctx); err != nil {
 		return nil, err
 	}
 
 	series := metrics.Attach(e, c, 0)
 	var network *metrics.NetworkSeries
-	if tree != nil {
-		network = metrics.AttachNetwork(e, c, tree, topology.DefaultSwitchSpec)
+	if ctx.Tree != nil {
+		network = metrics.AttachNetwork(e, c, ctx.Tree, topology.DefaultSwitchSpec)
 	}
 	e.RunRounds(x.Rounds)
 	if spec.Drain {

@@ -22,6 +22,12 @@ import (
 const (
 	vmFlagDeparted uint8 = 1 << iota
 	vmFlagSeeded
+	// vmFlagPending marks a VM with a scheduled or retrying arrival: set by
+	// SetLifecycle, RecycleVM and crash-stranding, cleared by attach. The
+	// arrival scan gates on this flag — not on vmArrive > 0, which would
+	// silently exclude a legitimately-scheduled round-0 arrival after an ID
+	// is recycled.
+	vmFlagPending
 )
 
 // VM is a handle onto one virtual machine's state. Demand fields are
@@ -159,22 +165,23 @@ type Cluster struct {
 	VMs []*VM
 
 	// Per-VM state, indexed by VM id.
-	vmHost      []int32 // hosting PM id, -1 while unplaced
-	vmCur       []Vec   // current-round demand fraction
-	vmAvg       []Vec   // running average demand (the paper's {c, v} tuple...)
-	vmCount     []int32 // ...where this is c, the number of observations
-	vmCap       []Vec   // absolute capacity (Spec.Capacity), precomputed
-	vmMigs      []int32 // completed live migrations
+	vmHost      []int32   // hosting PM id, -1 while unplaced
+	vmCur       []Vec     // current-round demand fraction
+	vmAvg       []Vec     // running average demand (the paper's {c, v} tuple...)
+	vmCount     []int32   // ...where this is c, the number of observations
+	vmCap       []Vec     // absolute capacity (Spec.Capacity), precomputed
+	vmMigs      []int32   // completed live migrations
 	vmDegraded  []float64 // C_d: migration CPU degradation (MIPS·s)
 	vmRequested []float64 // C_r: lifetime requested CPU (MIPS·s)
-	vmArrive    []int32 // first round present
-	vmDepart    []int32 // first round absent, -1 = never
-	vmFlags     []uint8 // vmFlagDeparted | vmFlagSeeded
+	vmArrive    []int32   // first round present
+	vmDepart    []int32   // first round absent, -1 = never
+	vmFlags     []uint8   // vmFlagDeparted | vmFlagSeeded
 
 	// Per-PM state, indexed by PM id.
 	pmUp          []uint64 // powered-state bitset, bit p of word p/64
 	pmCurSum      []Vec    // aggregate current absolute demand of hosted VMs
 	pmAvgSum      []Vec    // aggregate running-average absolute demand
+	pmAllocSum    []Vec    // aggregate nominal allocation (Spec.Capacity) of hosted VMs
 	pmResSum      []Vec    // aggregate reserved demand (see reserve.go)
 	pmResCount    []int32  // open reservations
 	pmActiveSec   []float64
@@ -317,6 +324,7 @@ func New(cfg Config) (*Cluster, error) {
 		pmUp:          make([]uint64, (cfg.PMs+63)/64),
 		pmCurSum:      make([]Vec, cfg.PMs),
 		pmAvgSum:      make([]Vec, cfg.PMs),
+		pmAllocSum:    make([]Vec, cfg.PMs),
 		pmResSum:      make([]Vec, cfg.PMs),
 		pmResCount:    make([]int32, cfg.PMs),
 		pmActiveSec:   make([]float64, cfg.PMs),
@@ -383,7 +391,6 @@ func (c *Cluster) MigrationLog() []Migration { return c.migrationLog }
 // oversubscribed (ratio > capacity), remaining VMs are placed round-robin.
 func (c *Cluster) PlaceRandom(intn func(n int) int) {
 	c.placeIntn = intn
-	alloc := make([]Vec, len(c.PMs))
 	for _, vm := range c.VMs {
 		if c.vmHost[vm.ID] >= 0 || c.vmArrive[vm.ID] > 0 {
 			continue
@@ -395,9 +402,8 @@ func (c *Cluster) PlaceRandom(intn func(n int) int) {
 			if !c.pmOn(p) {
 				continue
 			}
-			if alloc[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
+			if c.pmAllocSum[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
 				c.attach(vm, pm)
-				alloc[p] = alloc[p].Add(vm.Spec.Capacity)
 				placed = true
 				break
 			}
@@ -411,9 +417,8 @@ func (c *Cluster) PlaceRandom(intn func(n int) int) {
 				if !c.pmOn(p) {
 					continue
 				}
-				if alloc[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
+				if c.pmAllocSum[p].Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
 					c.attach(vm, pm)
-					alloc[p] = alloc[p].Add(vm.Spec.Capacity)
 					placed = true
 					break
 				}
@@ -422,9 +427,7 @@ func (c *Cluster) PlaceRandom(intn func(n int) int) {
 		if !placed {
 			// The cluster is genuinely over-subscribed by allocation;
 			// stuff the VM anyway so every VM runs somewhere.
-			pm := c.PMs[vm.ID%len(c.PMs)]
-			c.attach(vm, pm)
-			alloc[pm.ID] = alloc[pm.ID].Add(vm.Spec.Capacity)
+			c.attach(vm, c.PMs[vm.ID%len(c.PMs)])
 		}
 	}
 }
@@ -432,14 +435,22 @@ func (c *Cluster) PlaceRandom(intn func(n int) int) {
 func (c *Cluster) attach(vm *VM, pm *PM) {
 	c.hostedInsert(pm.ID, int32(vm.ID))
 	c.vmHost[vm.ID] = int32(pm.ID)
+	c.vmFlags[vm.ID] &^= vmFlagPending
 	c.pmCurSum[pm.ID] = c.pmCurSum[pm.ID].Add(vm.CurAbs())
 	c.pmAvgSum[pm.ID] = c.pmAvgSum[pm.ID].Add(vm.AvgAbs())
+	c.pmAllocSum[pm.ID] = c.pmAllocSum[pm.ID].Add(c.vmCap[vm.ID])
 }
 
 func (c *Cluster) detach(vm *VM, pm *PM) {
 	c.hostedRemove(pm.ID, int32(vm.ID))
 	c.pmCurSum[pm.ID] = c.pmCurSum[pm.ID].Sub(vm.CurAbs())
 	c.pmAvgSum[pm.ID] = c.pmAvgSum[pm.ID].Sub(vm.AvgAbs())
+	c.pmAllocSum[pm.ID] = c.pmAllocSum[pm.ID].Sub(c.vmCap[vm.ID])
+	if len(c.pmVMs[pm.ID]) == 0 {
+		// Reset exactly at empty so float cancellation cannot accumulate
+		// across attach/detach cycles of a long churny run.
+		c.pmAllocSum[pm.ID] = Vec{}
+	}
 }
 
 // CurUtil returns the PM's current utilisation fraction per resource:
@@ -666,6 +677,7 @@ func (c *Cluster) CheckInvariants() error {
 		counts[ci] = seen
 		for p := lo; p < hi; p++ {
 			prev := int32(-1)
+			var alloc Vec
 			for _, id := range c.pmVMs[p] {
 				if id <= prev {
 					pmErrs[ci] = fmt.Errorf("dc: PM %d hosted list not sorted at id %d", p, id)
@@ -684,7 +696,15 @@ func (c *Cluster) CheckInvariants() error {
 					pmErrs[ci] = fmt.Errorf("dc: powered-off PM %d hosts VM %d", p, id)
 					return
 				}
+				alloc = alloc.Add(c.vmCap[id])
 				seen[int(id)]++
+			}
+			for r := 0; r < NumResources; r++ {
+				diff := alloc[r] - c.pmAllocSum[p][r]
+				if diff < -1e-6 || diff > 1e-6 {
+					pmErrs[ci] = fmt.Errorf("dc: PM %d allocSum drifted: cached %v, actual %v", p, c.pmAllocSum[p], alloc)
+					return
+				}
 			}
 		}
 	})

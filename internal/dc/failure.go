@@ -1,0 +1,69 @@
+package dc
+
+import "fmt"
+
+// PM failure injection. A crash is an abrupt power loss, not a graceful
+// consolidation power-off: the machine may still host VMs and hold capacity
+// reservations for in-flight migrations, and both must be resolved the
+// instant it dies. The protocol layer is deliberately not consulted — a real
+// crash gives the control plane no warning either; sender-side async state
+// recovers through its own timeouts, for which the reservation release here
+// is an idempotent no-op.
+
+// CrashReport summarises what one CrashPM call had to clean up.
+type CrashReport struct {
+	// Evacuated counts hosted VMs immediately re-placed on surviving PMs
+	// (modelling restart-from-image on another machine, so it is not a live
+	// migration and does not touch the migration ledger).
+	Evacuated int
+	// Stranded counts hosted VMs for which no surviving PM was admissible;
+	// they re-enter the arrival path and retry placement every round.
+	Stranded int
+	// ReservationsReleased counts in-flight migration reservations the crash
+	// voided on the dead target.
+	ReservationsReleased int
+}
+
+// CrashPM kills a powered PM: open reservations are released, the machine is
+// marked down, and every hosted VM is evacuated through the arrival
+// placement path (or stranded into it when the fleet has no admissible
+// headroom). A stranded VM keeps its monitoring history — it is the same VM,
+// so its running average must survive the outage — and retries placement
+// each round until it lands. The caller is responsible for mirroring the
+// power state into the simulation engine (sim.Engine.SetUp) so gossip stops
+// selecting the dead node.
+func (c *Cluster) CrashPM(pm *PM) (CrashReport, error) {
+	if !c.pmOn(pm.ID) {
+		return CrashReport{}, fmt.Errorf("dc: PM %d is already off", pm.ID)
+	}
+	rep := CrashReport{ReservationsReleased: c.ReleaseAllReservations(pm)}
+	ids := pm.VMIDs()
+	// Down the PM before evacuating so placeArrival cannot bounce a VM back
+	// onto the dying machine.
+	c.setPMUp(pm.ID, false)
+	for _, id := range ids {
+		vm := c.VMs[id]
+		c.detach(vm, pm)
+		c.vmHost[id] = -1
+		if c.placeArrival(vm) {
+			rep.Evacuated++
+		} else {
+			c.vmFlags[id] |= vmFlagPending | vmFlagSeeded
+			rep.Stranded++
+			c.FailedPlacements++
+		}
+	}
+	return rep, nil
+}
+
+// RecoverPM returns a crashed PM to service, empty and powered. Whether it
+// resumes with its pre-crash Q-tables (warm restart from checkpoint) or
+// re-learns from scratch is the protocol layer's decision; the cluster only
+// models the hardware coming back.
+func (c *Cluster) RecoverPM(pm *PM) error {
+	if c.pmOn(pm.ID) {
+		return fmt.Errorf("dc: PM %d is already on", pm.ID)
+	}
+	c.setPMUp(pm.ID, true)
+	return nil
+}

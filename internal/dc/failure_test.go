@@ -1,0 +1,272 @@
+package dc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+func TestCrashPMEvacuatesAndReleasesReservations(t *testing.T) {
+	set, err := trace.Generate(trace.DefaultGenConfig(10, 30, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{PMs: 5, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	c.PlaceRandom(rng.Intn)
+
+	victim := c.PMs[0]
+	if err := c.Reserve(victim, 1, Vec{100, 100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(victim, 2, Vec{50, 50}); err != nil {
+		t.Fatal(err)
+	}
+	hosted := victim.VMIDs()
+
+	rep, err := c.CrashPM(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if victim.On() {
+		t.Fatal("crashed PM still powered")
+	}
+	if rep.ReservationsReleased != 2 {
+		t.Fatalf("released %d reservations, want 2", rep.ReservationsReleased)
+	}
+	if c.OpenReservations() != 0 || c.Reserved(victim) != (Vec{}) {
+		t.Fatal("crash left reservations open on the dead PM")
+	}
+	if rep.Evacuated+rep.Stranded != len(hosted) {
+		t.Fatalf("evacuated %d + stranded %d != %d hosted", rep.Evacuated, rep.Stranded, len(hosted))
+	}
+	// 4 surviving ProLiants can absorb a fifth machine's micro VMs.
+	if rep.Stranded != 0 {
+		t.Fatalf("stranded %d VMs despite surviving headroom", rep.Stranded)
+	}
+	for _, id := range hosted {
+		if h := c.VMs[id].Host(); h < 0 || h == victim.ID {
+			t.Fatalf("VM %d hosted on %d after evacuating PM %d", id, h, victim.ID)
+		}
+	}
+	if victim.NumVMs() != 0 {
+		t.Fatal("dead PM still hosts VMs")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := c.CrashPM(victim); err == nil {
+		t.Fatal("crashing an already-off PM accepted")
+	}
+	if err := c.RecoverPM(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !victim.On() || victim.NumVMs() != 0 {
+		t.Fatal("recovered PM should be powered and empty")
+	}
+	if err := c.RecoverPM(victim); err == nil {
+		t.Fatal("recovering an already-on PM accepted")
+	}
+}
+
+func TestCrashPMStrandsWithoutHeadroomAndRetries(t *testing.T) {
+	set, err := trace.Generate(trace.DefaultGenConfig(4, 30, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{PMs: 2, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	c.PlaceRandom(rng.Intn)
+
+	// Consolidate everything onto PM 0 and dark the rest of the fleet, then
+	// kill PM 0: every VM must strand into the arrival-retry path.
+	for _, vm := range c.VMs {
+		if vm.Host() != 0 {
+			if err := c.Migrate(vm, c.PMs[0]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := c.SetPMOn(c.PMs[1], false); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.CrashPM(c.PMs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stranded != len(c.VMs) || rep.Evacuated != 0 {
+		t.Fatalf("evacuated %d / stranded %d, want 0 / %d", rep.Evacuated, rep.Stranded, len(c.VMs))
+	}
+	if c.FailedPlacements != int64(len(c.VMs)) {
+		t.Fatalf("FailedPlacements = %d, want %d", c.FailedPlacements, len(c.VMs))
+	}
+	if c.PresentVMs() != 0 {
+		t.Fatal("stranded VMs still present")
+	}
+	// Stranding keeps monitoring history: the VM survives, its host did not.
+	for _, vm := range c.VMs {
+		if c.vmCount[vm.ID] < 1 || c.vmFlags[vm.ID]&vmFlagSeeded == 0 {
+			t.Fatalf("VM %d lost its monitoring history in the crash", vm.ID)
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Power restored: the next round's arrival scan re-places every orphan.
+	if err := c.SetPMOn(c.PMs[1], true); err != nil {
+		t.Fatal(err)
+	}
+	c.AdvanceRound(1)
+	if c.PresentVMs() != len(c.VMs) {
+		t.Fatalf("re-placed %d of %d stranded VMs", c.PresentVMs(), len(c.VMs))
+	}
+	for _, vm := range c.VMs {
+		if vm.Host() != 1 {
+			t.Fatalf("VM %d landed on %d, only PM 1 is powered", vm.ID, vm.Host())
+		}
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecycleVMRoundZeroArrival pins the arrival-gate fix: arrivals are gated
+// on the pending flag, not on vmArrive > 0, so a recycled ID scheduled with
+// arrive=0 (or any past round) joins at the next round step instead of being
+// silently skipped forever.
+func TestRecycleVMRoundZeroArrival(t *testing.T) {
+	set, err := trace.Generate(trace.DefaultGenConfig(6, 30, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{PMs: 3, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecycleVM(0, 0, -1); err == nil {
+		t.Fatal("recycling a VM that never departed accepted")
+	}
+	if err := c.SetLifecycle(0, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	c.PlaceRandom(rng.Intn)
+	for r := 1; r <= 3; r++ {
+		c.AdvanceRound(r)
+	}
+	if !c.VMs[0].Departed() {
+		t.Fatal("VM 0 should have departed at round 3")
+	}
+
+	if err := c.RecycleVM(0, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RecycleVM(0, 5, 4); err == nil {
+		t.Fatal("recycle with depart <= arrive accepted")
+	}
+	c.AdvanceRound(4)
+	if !c.VMs[0].Present() {
+		t.Fatal("recycled VM with arrive=0 never re-entered the cluster")
+	}
+	if c.VMs[0].Departed() {
+		t.Fatal("recycled VM still flagged departed")
+	}
+	if c.vmCount[0] != 2 {
+		// Seed at arrival (1) + the arrival round's demand sample: the old
+		// VM's history is gone.
+		t.Fatalf("recycled VM monitoring count = %d, want a fresh restart at 2", c.vmCount[0])
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reservationCluster builds a 2-PM cluster from a hand-written workload: one
+// VM per PM fits by allocation, a third arriving VM must take the stuffing
+// path. Demands are constant so the test controls every admission check.
+func reservationCluster(t *testing.T) *Cluster {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString("vm,round,cpu,mem\n")
+	for vm := 0; vm < 3; vm++ {
+		for r := 0; r < 10; r++ {
+			fmt.Fprintf(&sb, "%d,%d,0.5,0.5\n", vm, r)
+		}
+	}
+	set, err := trace.LoadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(Config{
+		PMs:      2,
+		PMSpec:   PMSpec{Name: "test", Capacity: Vec{1000, 1000}, NetBandwidthMBps: 100, PowerIdleW: 50, PowerMaxW: 100},
+		VMSpec:   VMSpec{Name: "test", Capacity: Vec{600, 600}},
+		Workload: set,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestPlaceArrivalRespectsReservations pins the stuffing-fallback fix: an
+// arrival must never consume capacity a target PM has promised to an
+// in-flight migration.
+func TestPlaceArrivalRespectsReservations(t *testing.T) {
+	c := reservationCluster(t)
+	if err := c.SetLifecycle(2, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(1)
+	c.PlaceRandom(rng.Intn)
+	if c.PresentVMs() != 2 {
+		t.Fatalf("placed %d initial VMs, want 2", c.PresentVMs())
+	}
+	// Each PM hosts one 600-cap VM; a second never fits by allocation
+	// (1200 > 1000), so VM 2's arrival must stuff by current demand
+	// (300 absolute against 700 free). Reserving PM 0's remaining headroom
+	// forces the arrival onto PM 1.
+	host0 := c.VMs[0].Host()
+	other := 1 - host0
+	if err := c.Reserve(c.PMs[host0], 7, Vec{700, 700}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(c.PMs[other], 8, Vec{700, 700}); err != nil {
+		t.Fatal(err)
+	}
+	// Both PMs fully reserved: the arrival must fail — the zero-reservation
+	// stuffing fallback may not touch a PM with capacity spoken for.
+	c.AdvanceRound(1)
+	if c.VMs[2].Present() {
+		t.Fatalf("arrival landed on PM %d despite full reservations", c.VMs[2].Host())
+	}
+	if c.FailedPlacements != 1 {
+		t.Fatalf("FailedPlacements = %d, want 1", c.FailedPlacements)
+	}
+	// Release the far PM's reservation: the retry must land there and leave
+	// the still-reserved PM untouched.
+	if !c.ReleaseReservation(c.PMs[other], 8) {
+		t.Fatal("release failed")
+	}
+	c.AdvanceRound(2)
+	if !c.VMs[2].Present() {
+		t.Fatal("arrival retry failed with a free PM available")
+	}
+	if got := c.VMs[2].Host(); got != other {
+		t.Fatalf("arrival landed on %d, want unreserved PM %d", got, other)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -26,6 +26,33 @@ func (c *Cluster) SetLifecycle(id, arrive, depart int) error {
 	}
 	c.vmArrive[id] = int32(arrive)
 	c.vmDepart[id] = int32(depart)
+	c.vmFlags[id] |= vmFlagPending
+	return nil
+}
+
+// RecycleVM returns a departed VM's dense ID to service as a fresh arrival
+// scheduled for round arrive (depart < 0 means never): the workload's series
+// for the ID drives the "new" VM from that round on. The departed flag and
+// monitoring history are cleared — a recycled ID is a different VM, so its
+// running average must restart from its first observed sample. Arrivals are
+// gated on the pending flag this sets, so a recycled VM arrives even at a
+// round where vmArrive is 0 or in the past.
+func (c *Cluster) RecycleVM(id, arrive, depart int) error {
+	if id < 0 || id >= len(c.VMs) {
+		return fmt.Errorf("dc: no VM %d", id)
+	}
+	if c.vmFlags[id]&vmFlagDeparted == 0 || c.vmHost[id] >= 0 {
+		return fmt.Errorf("dc: VM %d has not departed; only departed IDs can be recycled", id)
+	}
+	if arrive < 0 || (depart >= 0 && depart <= arrive) {
+		return fmt.Errorf("dc: invalid lifecycle [%d, %d)", arrive, depart)
+	}
+	c.vmArrive[id] = int32(arrive)
+	c.vmDepart[id] = int32(depart)
+	c.vmFlags[id] = vmFlagPending
+	c.vmCur[id] = Vec{}
+	c.vmAvg[id] = Vec{}
+	c.vmCount[id] = 0
 	return nil
 }
 
@@ -58,7 +85,7 @@ func (c *Cluster) stepLifecycle(r int) {
 		}
 	}
 	for id := range c.VMs {
-		if c.vmHost[id] < 0 && c.vmFlags[id]&vmFlagDeparted == 0 && r >= int(c.vmArrive[id]) && c.vmArrive[id] > 0 {
+		if c.vmHost[id] < 0 && c.vmFlags[id]&(vmFlagDeparted|vmFlagPending) == vmFlagPending && r >= int(c.vmArrive[id]) {
 			// The current demand tracks the workload while the VM waits for
 			// a slot, but monitoring restarts only once per arrival: a
 			// placement retry in a later round must not wipe the running
@@ -79,29 +106,29 @@ func (c *Cluster) stepLifecycle(r int) {
 
 // placeArrival places a newly arrived VM: random-first over powered PMs
 // with nominal-allocation headroom, falling back to first-fit, then to
-// stuffing — mirroring PlaceRandom's policy for the initial population. It
-// reports whether the VM found a host; false means no PM is powered and the
-// arrival retries next round.
+// stuffing — mirroring PlaceRandom's policy for the initial population. The
+// allocation checks read the cluster-maintained per-PM allocation sums, so
+// one arrival costs O(attempts), not O(PMs × occupancy) as the former
+// re-summation of every probed PM's hosted list did.
+//
+// The stuffing fallback respects open reservations: capacity a target has
+// promised to an in-flight migration is never handed to an arrival, so a
+// message-passing protocol's accepted offer cannot be invalidated by the
+// lifecycle machinery racing it. It reports whether the VM found a host;
+// false means no admissible PM exists and the arrival retries next round.
 func (c *Cluster) placeArrival(vm *VM) bool {
 	intn := c.placeIntn
 	if intn == nil {
 		intn = func(n int) int { return int(vm.ID) % n }
 	}
-	allocOf := func(p int) Vec {
-		var alloc Vec
-		for _, id := range c.pmVMs[p] {
-			alloc = alloc.Add(c.vmCap[id])
-		}
-		return alloc
-	}
+	need := vm.Spec.Capacity
 	for attempt := 0; attempt < 2*len(c.PMs); attempt++ {
 		p := intn(len(c.PMs))
-		pm := c.PMs[p]
 		if !c.pmOn(p) {
 			continue
 		}
-		if allocOf(p).Add(vm.Spec.Capacity).FitsWithin(pm.Spec.Capacity) {
-			c.attach(vm, pm)
+		if c.pmAllocSum[p].Add(need).FitsWithin(c.PMs[p].Spec.Capacity) {
+			c.attach(vm, c.PMs[p])
 			return true
 		}
 	}
@@ -111,15 +138,28 @@ func (c *Cluster) placeArrival(vm *VM) bool {
 		if !c.pmOn(p) {
 			continue
 		}
-		if allocOf(p).Add(vm.Spec.Capacity).FitsWithin(c.PMs[p].Spec.Capacity) {
+		if c.pmAllocSum[p].Add(need).FitsWithin(c.PMs[p].Spec.Capacity) {
 			c.attach(vm, c.PMs[p])
 			return true
 		}
 	}
-	// Over-subscribed: stuff onto any powered PM.
+	// Over-subscribed by allocation: stuff onto a powered PM, preferring one
+	// whose reservation-adjusted current headroom admits the VM's demand.
+	cur := vm.CurAbs()
 	for off := 0; off < len(c.PMs); off++ {
 		p := (start + off) % len(c.PMs)
-		if c.pmOn(p) {
+		if c.pmOn(p) && c.FitsCurReserved(cur, c.PMs[p]) {
+			c.attach(vm, c.PMs[p])
+			return true
+		}
+	}
+	// Nothing has headroom: stuff onto a powered PM holding no reservations
+	// (over-admission must stay expressible — it is how bad placement shows
+	// up as SLA violation), but never onto one whose free capacity is spoken
+	// for by an in-flight offer.
+	for off := 0; off < len(c.PMs); off++ {
+		p := (start + off) % len(c.PMs)
+		if c.pmOn(p) && c.pmResCount[p] == 0 {
 			c.attach(vm, c.PMs[p])
 			return true
 		}

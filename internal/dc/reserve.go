@@ -55,6 +55,26 @@ func (c *Cluster) ReleaseReservation(pm *PM, token uint64) bool {
 	return true
 }
 
+// ReleaseAllReservations drops every reservation pm holds and returns how
+// many were open. A crashing PM calls this so capacity promised to in-flight
+// migrations is not left spoken-for on a dead machine: the sender-side
+// protocol state recovers via its own timeouts, and a later commit or
+// timeout release for a dropped token is an idempotent no-op.
+func (c *Cluster) ReleaseAllReservations(pm *PM) int {
+	n := int(c.pmResCount[pm.ID])
+	if n == 0 {
+		return 0
+	}
+	for k := range c.reservations {
+		if k.pm == int32(pm.ID) {
+			delete(c.reservations, k)
+		}
+	}
+	c.pmResSum[pm.ID] = Vec{}
+	c.pmResCount[pm.ID] = 0
+	return n
+}
+
 // Reserved returns pm's aggregate reserved demand.
 func (c *Cluster) Reserved(pm *PM) Vec { return c.pmResSum[pm.ID] }
 

@@ -49,6 +49,25 @@ func SaveTables(w io.Writer, t *NodeTables) error {
 	return bw.Flush()
 }
 
+// CheckpointTables serialises a Q store to bytes — the in-memory form of
+// SaveTables that the failure scenarios use to snapshot a PM's tables right
+// before an injected crash, so a recovered machine can warm-restart instead
+// of re-learning from scratch.
+func CheckpointTables(t *NodeTables) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveTables(&buf, t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreTables rebuilds a Q store from a CheckpointTables snapshot. The
+// restored store is byte-identical under re-checkpointing: the codec is the
+// warm-restart contract, so a restore must lose nothing.
+func RestoreTables(b []byte) (*NodeTables, error) {
+	return LoadTables(bytes.NewReader(b))
+}
+
 // LoadTables reads a Q store written by SaveTables.
 func LoadTables(r io.Reader) (*NodeTables, error) {
 	var in storeJSON

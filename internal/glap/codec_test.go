@@ -65,6 +65,43 @@ func TestSaveLoadEndToEnd(t *testing.T) {
 	}
 }
 
+// TestCheckpointRestoreByteIdentical pins the warm-restart contract the
+// crash scenario relies on: restoring a checkpoint and re-checkpointing the
+// result reproduces the snapshot byte for byte, and the restored store equals
+// the original.
+func TestCheckpointRestoreByteIdentical(t *testing.T) {
+	cl := genCluster(t, 8, 16, 40, 5)
+	pre, err := Pretrain(Config{LearnRounds: 15, AggRounds: 10}, cl, 5, PretrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := SharedTables(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := CheckpointTables(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreTables(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := CheckpointTables(restored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cp, again) {
+		t.Fatal("re-checkpointing a restored store is not byte-identical")
+	}
+	if !qlearn.Equal(shared.Out, restored.Out) || !qlearn.Equal(shared.In, restored.In) {
+		t.Fatal("restored store differs from the original")
+	}
+	if !restored.Trained {
+		t.Fatal("restore lost the Trained flag")
+	}
+}
+
 func TestLoadTablesErrors(t *testing.T) {
 	cases := map[string]string{
 		"garbage":     "nope",

@@ -40,6 +40,17 @@ func (t *NodeTables) Clone() *NodeTables {
 	return &NodeTables{Out: t.Out.Clone(), In: t.In.Clone(), Trained: t.Trained}
 }
 
+// NewNodeTables builds an empty, untrained Q store under cfg's learning
+// parameters — the state a cold-restarted PM comes back with after a crash
+// wiped its tables.
+func NewNodeTables(cfg Config) *NodeTables {
+	cfg = cfg.withDefaults()
+	return &NodeTables{
+		Out: qlearn.New(cfg.Alpha, cfg.Gamma),
+		In:  qlearn.New(cfg.Alpha, cfg.Gamma),
+	}
+}
+
 // ioSpan is the per-dimension size of the dense φ^io layout: the calibrated
 // level space (NumLevels² packed states and actions).
 const ioSpan = NumLevels * NumLevels

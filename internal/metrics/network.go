@@ -35,6 +35,10 @@ func AttachNetwork(e *sim.Engine, c *dc.Cluster, tree *topology.Tree, spec topol
 	return ns
 }
 
+// EnergyKWh returns the accumulated network energy in kilowatt-hours, the
+// unit the scenario reports share with the server-side TotalEnergyKWh.
+func (ns *NetworkSeries) EnergyKWh() float64 { return ns.EnergyJ / 3.6e6 }
+
 // MeanPowerW returns the average network power over the run.
 func (ns *NetworkSeries) MeanPowerW() float64 {
 	if len(ns.SwitchPowerW) == 0 {

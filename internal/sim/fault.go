@@ -1,0 +1,75 @@
+package sim
+
+import "sort"
+
+// Deterministic failure injection: a FaultPlan is a precomputed schedule of
+// node up/down transitions, applied at the start of the round they name,
+// before any protocol runs. Precomputing the schedule (instead of rolling
+// dice inside the round loop) keeps the injection independent of every other
+// RNG stream in the run, so adding or removing faults never perturbs peer
+// sampling, placement, or learning draws.
+
+// FaultEvent is one power transition: node Node goes Up (recovery) or down
+// (crash) at the start of round Round.
+type FaultEvent struct {
+	Round int
+	Node  int
+	Up    bool
+}
+
+// FaultPlan is a round-ordered schedule of fault events.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// Install registers the plan on the engine: at the start of each round every
+// event scheduled for that round is handed to apply, in schedule order. The
+// apply callback owns the actual transition — evacuating a cluster PM,
+// mirroring SetUp, restoring checkpointed protocol state — because the
+// engine cannot know what a crash means for the layers above it.
+func (p *FaultPlan) Install(e *Engine, apply func(e *Engine, ev FaultEvent)) {
+	byRound := make(map[int][]FaultEvent, len(p.Events))
+	for _, ev := range p.Events {
+		byRound[ev.Round] = append(byRound[ev.Round], ev)
+	}
+	e.BeforeRound(func(e *Engine, r int) {
+		for _, ev := range byRound[r] {
+			apply(e, ev)
+		}
+	})
+}
+
+// GenerateFaults draws a crash/recovery schedule: `crashes` distinct victims
+// out of `nodes`, each crashing once at a round in [rounds/6, 2*rounds/3)
+// — late enough that learning has state worth losing, early enough that
+// recovery and reconvergence fit inside the run — and recovering mttr rounds
+// later (mttr <= 0 means the node stays down). Recoveries past the end of
+// the run are dropped. The schedule is sorted by round, ties in draw order.
+func GenerateFaults(rng *RNG, nodes, rounds, crashes, mttr int) FaultPlan {
+	if crashes > nodes {
+		crashes = nodes
+	}
+	victims := make([]int, nodes)
+	for i := range victims {
+		victims[i] = i
+	}
+	rng.Shuffle(len(victims), func(i, j int) {
+		victims[i], victims[j] = victims[j], victims[i]
+	})
+	lo, hi := rounds/6, 2*rounds/3
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var plan FaultPlan
+	for _, v := range victims[:crashes] {
+		crash := lo + rng.Intn(hi-lo)
+		plan.Events = append(plan.Events, FaultEvent{Round: crash, Node: v, Up: false})
+		if mttr > 0 && crash+mttr < rounds {
+			plan.Events = append(plan.Events, FaultEvent{Round: crash + mttr, Node: v, Up: true})
+		}
+	}
+	sort.SliceStable(plan.Events, func(i, j int) bool {
+		return plan.Events[i].Round < plan.Events[j].Round
+	})
+	return plan
+}

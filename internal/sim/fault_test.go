@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGenerateFaultsDeterministic(t *testing.T) {
+	a := GenerateFaults(NewRNG(42), 50, 60, 5, 8)
+	b := GenerateFaults(NewRNG(42), 50, 60, 5, 8)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault plans")
+	}
+	c := GenerateFaults(NewRNG(43), 50, 60, 5, 8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical fault plans")
+	}
+}
+
+func TestGenerateFaultsShape(t *testing.T) {
+	const nodes, rounds, crashes, mttr = 50, 60, 5, 8
+	plan := GenerateFaults(NewRNG(7), nodes, rounds, crashes, mttr)
+
+	downAt := map[int]int{}
+	downs, ups := 0, 0
+	lastRound := -1
+	for _, ev := range plan.Events {
+		if ev.Round < lastRound {
+			t.Fatal("events not sorted by round")
+		}
+		lastRound = ev.Round
+		if ev.Node < 0 || ev.Node >= nodes {
+			t.Fatalf("victim %d out of range", ev.Node)
+		}
+		if !ev.Up {
+			downs++
+			if _, dup := downAt[ev.Node]; dup {
+				t.Fatalf("node %d crashes twice", ev.Node)
+			}
+			if ev.Round < rounds/6 || ev.Round >= 2*rounds/3 {
+				t.Fatalf("crash round %d outside [%d, %d)", ev.Round, rounds/6, 2*rounds/3)
+			}
+			downAt[ev.Node] = ev.Round
+		} else {
+			ups++
+			crash, ok := downAt[ev.Node]
+			if !ok {
+				t.Fatalf("node %d recovers without crashing", ev.Node)
+			}
+			if ev.Round != crash+mttr {
+				t.Fatalf("node %d recovers at %d, want crash %d + mttr %d", ev.Node, ev.Round, crash, mttr)
+			}
+			if ev.Round >= rounds {
+				t.Fatalf("recovery at %d past end of run %d", ev.Round, rounds)
+			}
+		}
+	}
+	if downs != crashes {
+		t.Fatalf("%d crashes, want %d", downs, crashes)
+	}
+	if ups > downs {
+		t.Fatalf("%d recoveries exceed %d crashes", ups, downs)
+	}
+}
+
+func TestGenerateFaultsClampsAndMTTR(t *testing.T) {
+	// More crashes than nodes: every node crashes exactly once.
+	plan := GenerateFaults(NewRNG(1), 3, 30, 10, 0)
+	downs := 0
+	for _, ev := range plan.Events {
+		if ev.Up {
+			t.Fatal("mttr <= 0 must keep nodes down")
+		}
+		downs++
+	}
+	if downs != 3 {
+		t.Fatalf("%d crashes, want all 3 nodes", downs)
+	}
+	// A tiny run still yields a valid window (hi <= lo collapses to one round).
+	plan = GenerateFaults(NewRNG(2), 4, 1, 2, 0)
+	for _, ev := range plan.Events {
+		if ev.Round != 0 {
+			t.Fatalf("1-round run scheduled a crash at %d", ev.Round)
+		}
+	}
+}
+
+func TestFaultPlanInstallAppliesInOrder(t *testing.T) {
+	plan := FaultPlan{Events: []FaultEvent{
+		{Round: 2, Node: 0, Up: false},
+		{Round: 2, Node: 1, Up: false},
+		{Round: 4, Node: 0, Up: true},
+	}}
+	e := NewEngine(3, 1)
+	var got []FaultEvent
+	plan.Install(e, func(e *Engine, ev FaultEvent) {
+		got = append(got, ev)
+		if e.Round() != ev.Round {
+			t.Fatalf("event for round %d applied at round %d", ev.Round, e.Round())
+		}
+	})
+	e.RunRounds(6)
+	if !reflect.DeepEqual(got, plan.Events) {
+		t.Fatalf("applied %v, want schedule order %v", got, plan.Events)
+	}
+}

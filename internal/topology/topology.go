@@ -75,6 +75,21 @@ func (t *Tree) Distance(a, b int) int {
 	}
 }
 
+// LatencyFactor returns the network delay multiplier for a message between
+// two PMs, derived from hop count: 1 within a rack, 2 across racks in a
+// pod, 3 across pods. It scales NetConfig's base one-way latency so that
+// topology-aware runs pay propagation cost proportional to path length.
+func (t *Tree) LatencyFactor(a, b int) int64 {
+	switch t.Distance(a, b) {
+	case 0, 2:
+		return 1
+	case 4:
+		return 2
+	default:
+		return 3
+	}
+}
+
 // BandwidthFactor returns the fraction of edge bandwidth available to a
 // transfer between two PMs under the conventional 1:2.5 per-tier
 // oversubscription of three-tier designs: full bandwidth within a rack,

@@ -16,14 +16,22 @@ import (
 //
 //	vm,round,cpu,mem
 //
-// where cpu and mem are utilisation fractions in [0, 1]. A header row whose
-// first field is not an integer is skipped. This is the drop-in path for
-// real Google ClusterData extracts: resample task usage onto the simulation
-// round grid and export it in this format. All VMs must cover the same
-// round range [0, R).
+// where cpu and mem are utilisation fractions in [0, 1]. A first line whose
+// leading field is not an integer is treated as a header and skipped
+// regardless of how many fields it has — real ClusterData extracts carry
+// headers (or tool-emitted comment lines) with arbitrary field counts, and
+// the old fixed FieldsPerRecord=4 rejected them before the skip could run.
+// Data rows must have exactly 4 fields; a violation reports the offending
+// line and its field count. This is the drop-in path for real Google
+// ClusterData extracts: resample task usage onto the simulation round grid
+// and export it in this format. All VMs must cover the same round range
+// [0, R).
 func LoadCSV(r io.Reader) (*Set, error) {
 	cr := csv.NewReader(bufio.NewReader(r))
-	cr.FieldsPerRecord = 4
+	// Field-count validation happens per data row below, not in the reader:
+	// the reader would reject a ≠4-field header line before the header skip
+	// ever saw it.
+	cr.FieldsPerRecord = -1
 	cr.ReuseRecord = true
 
 	type cell struct {
@@ -41,11 +49,16 @@ func LoadCSV(r io.Reader) (*Set, error) {
 			return nil, fmt.Errorf("trace: reading CSV: %w", err)
 		}
 		line++
-		vm, err := strconv.Atoi(rec[0])
-		if err != nil {
-			if line == 1 {
+		if line == 1 {
+			if _, err := strconv.Atoi(rec[0]); err != nil {
 				continue // header
 			}
+		}
+		if len(rec) != 4 {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want 4 (vm,round,cpu,mem)", line, len(rec))
+		}
+		vm, err := strconv.Atoi(rec[0])
+		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: bad vm id %q", line, rec[0])
 		}
 		round, err := strconv.Atoi(rec[1])

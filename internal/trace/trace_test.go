@@ -219,6 +219,43 @@ func TestLoadCSVHeaderOptional(t *testing.T) {
 	}
 }
 
+// TestLoadCSVArbitraryHeaders pins the loader fix for real-trace extracts:
+// a first line whose leading field is not an integer is a header and must be
+// skipped whatever its field count — tool-emitted comment lines have one
+// field, ClusterData exports often carry extra columns. The old
+// FieldsPerRecord=4 reader rejected both before the skip could run.
+func TestLoadCSVArbitraryHeaders(t *testing.T) {
+	cases := map[string]string{
+		"one-field comment": "# google-clusterdata-2011 task_usage extract\n0,0,0.5,0.25\n",
+		"two-field comment": "# clusterdata extract, resampled to 120 s\n0,0,0.5,0.25\n",
+		"wide header":       "vm,round,cpu,mem,priority,scheduling_class\n0,0,0.5,0.25\n",
+		"canonical header":  "vm,round,cpu,mem\n0,0,0.5,0.25\n",
+	}
+	for name, input := range cases {
+		set, err := LoadCSV(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("case %q: %v", name, err)
+		}
+		if set.NumVMs() != 1 || set.Rounds() != 1 || set.At(0, 0).CPU != 0.5 {
+			t.Fatalf("case %q: bad set", name)
+		}
+	}
+}
+
+// TestLoadCSVFieldCountError checks that a malformed data row is still
+// rejected, and that the error names the offending line and its field count.
+func TestLoadCSVFieldCountError(t *testing.T) {
+	_, err := LoadCSV(strings.NewReader("0,0,0.5,0.25\n0,1,0.5\n"))
+	if err == nil {
+		t.Fatal("3-field data row accepted")
+	}
+	for _, want := range []string{"line 2", "3 fields"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
 func TestArchetypeString(t *testing.T) {
 	names := map[Archetype]string{
 		Stable: "stable", Diurnal: "diurnal", Periodic: "periodic",

@@ -3,10 +3,8 @@ package glapsim
 import (
 	"fmt"
 
-	"github.com/glap-sim/glap/internal/dc"
 	"github.com/glap-sim/glap/internal/glap"
 	"github.com/glap-sim/glap/internal/metrics"
-	"github.com/glap-sim/glap/internal/policy"
 	"github.com/glap-sim/glap/internal/sim"
 	"github.com/glap-sim/glap/internal/stats"
 )
@@ -207,37 +205,13 @@ func runRobustRep(cfg RobustConfig, rep int) (out robustRep) {
 		out.err = err
 		return
 	}
-	// stack prepares one paired run — identically placed cluster, same
-	// engine seed — and installs the policy's registered stack on it, so
-	// the sync reference and every grid cell differ only in the transport.
-	stack := func(x Experiment) (*dc.Cluster, *sim.Engine, *StackContext, error) {
-		c, err := buildCluster(x, w)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		e := sim.NewEngine(x.PMs, deriveSeed(x.Seed, seedEngine))
-		b, err := policy.Bind(e, c)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		sel, err := overlayFor(x, e)
-		if err != nil {
-			return nil, nil, nil, err
-		}
-		ctx := &StackContext{X: x, E: e, B: b, Select: sel, Tables: shared, Artifacts: &StackArtifacts{}}
-		spec, ok := policySpec(x.Policy)
-		if !ok {
-			return nil, nil, nil, fmt.Errorf("glapsim: unknown policy %q", x.Policy)
-		}
-		if err := spec.Build(ctx); err != nil {
-			return nil, nil, nil, err
-		}
-		return c, e, ctx, nil
-	}
+	// prepareStack builds each paired run — identically placed cluster, same
+	// engine seed — so the sync reference and every grid cell differ only in
+	// the transport.
 
 	// Synchronous reference.
 	{
-		c, e, _, err := stack(x)
+		c, e, _, err := prepareStack(x, w, shared)
 		if err != nil {
 			out.err = err
 			return
@@ -257,7 +231,7 @@ func runRobustRep(cfg RobustConfig, rep int) (out robustRep) {
 			xc := x
 			xc.Policy = PolicyGLAPAsync
 			xc.Net = NetConfig{Latency: lat, DropProb: drop}
-			c, e, ctx, err := stack(xc)
+			c, e, ctx, err := prepareStack(xc, w, shared)
 			if err != nil {
 				out.err = err
 				return

@@ -51,12 +51,19 @@ func buildGLAPAsync(ctx *StackContext) error {
 	if lat <= 0 {
 		lat = 1
 	}
-	tr := sim.NewTransport(ctx.E, sim.ConstantLatency(lat))
+	latFn := sim.ConstantLatency(lat)
+	maxLat := lat
+	if x.Net.TopoLatency && ctx.Tree != nil {
+		tree := ctx.Tree
+		latFn = func(from, to int) int64 { return lat * tree.LatencyFactor(from, to) }
+		maxLat = 3 * lat // cross-pod paths pay the full multiplier
+	}
+	tr := sim.NewTransport(ctx.E, latFn)
 	tr.DropProb = x.Net.DropProb
 	timeout := x.Net.OfferTimeout
 	if timeout == 0 {
 		// Cover a full offer round-trip even on slow links.
-		timeout = 2*ctx.E.RoundPeriod + 4*lat
+		timeout = 2*ctx.E.RoundPeriod + 4*maxLat
 	}
 	shared := ctx.Tables
 	cons := &glap.AsyncConsolidateProtocol{
@@ -66,6 +73,12 @@ func buildGLAPAsync(ctx *StackContext) error {
 		Select:            ctx.Select,
 		CurrentDemandOnly: x.GLAP.CurrentDemandOnly,
 		OfferTimeout:      timeout,
+	}
+	if x.TopologyAware && ctx.Tree != nil {
+		// Locality-aware peer selection: prefer same-rack, then same-pod
+		// exchange partners, so consolidation drains racks and their
+		// switches can sleep — the same policy the sync stack applies.
+		cons.Select = glap.LocalitySelector(ctx.Tree)
 	}
 	tr.Handle(cons)
 	ctx.E.Register(cons)
