@@ -1,0 +1,30 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// envMeta records the host execution environment in every benchmark report.
+// A committed JSON file is only meaningful next to the machine shape it was
+// taken on: a speedup or wall-time column from a GOMAXPROCS=1 host measures
+// scheduling overhead, not parallelism, and embedding the shape in the
+// report makes that impossible to overlook after the fact.
+type envMeta struct {
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"num_cpu"`
+}
+
+func currentEnv() envMeta {
+	return envMeta{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+}
+
+// warnIfSerial prints the shared single-thread warning at generation time,
+// so a throttled or single-core run announces itself in the log as well as
+// in the JSON.
+func (m envMeta) warnIfSerial() {
+	if m.GOMAXPROCS == 1 {
+		fmt.Println("WARNING: GOMAXPROCS=1 — parallel rows share one OS thread; " +
+			"speedup columns measure scheduling overhead, not parallelism.")
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 
 	"github.com/glap-sim/glap/internal/glap"
 )
@@ -24,11 +23,10 @@ import (
 var learnBaseSizes = []int{2, 4, 8, 16}
 
 type learnReport struct {
-	GOMAXPROCS int                     `json:"gomaxprocs"`
-	NumCPU     int                     `json:"num_cpu"`
-	Iters      int                     `json:"iters"`
-	Seed       uint64                  `json:"seed"`
-	Rows       []glap.LearnKernelStats `json:"rows"`
+	envMeta
+	Iters int                     `json:"iters"`
+	Seed  uint64                  `json:"seed"`
+	Rows  []glap.LearnKernelStats `json:"rows"`
 	// SpeedupByBase maps base profile count to reference/fused ns ratio.
 	SpeedupByBase map[string]float64 `json:"speedup_by_base"`
 }
@@ -36,13 +34,13 @@ type learnReport struct {
 // runLearn is the `-exp learn` mode.
 func runLearn(seed uint64, iters int, outPath string) {
 	rep := learnReport{
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		NumCPU:        runtime.NumCPU(),
+		envMeta:       currentEnv(),
 		Iters:         iters,
 		Seed:          seed,
 		SpeedupByBase: map[string]float64{},
 	}
 	fmt.Printf("== learn: reference (pre-fusion) vs fused training kernel, %d iters ==\n", iters)
+	rep.warnIfSerial()
 	for _, base := range learnBaseSizes {
 		ref := glap.MeasureLearnKernel(true, base, iters, seed)
 		fused := glap.MeasureLearnKernel(false, base, iters, seed)

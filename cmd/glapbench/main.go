@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), robust (async consolidation under loss × latency), scale (per-stage wall time across cluster sizes and worker counts), learn (fused vs reference training-kernel comparison), or scenarios (crash-churn / hetero / topology / real-trace suite)")
+	exp := flag.String("exp", "all", "experiment: f5, f6, f7, f8, f9, f10, t1, all, kernel (dense-vs-sparse hot-path comparison), robust (async consolidation under loss × latency), scale (per-stage wall time across cluster sizes and worker counts), learn (fused vs reference training-kernel comparison), scenarios (crash-churn / hetero / topology / real-trace suite), or quiesce (720-round continuous-operation run with and without the quiescence fast path)")
 	sizes := flag.String("sizes", "100", "comma-separated cluster sizes")
 	ratios := flag.String("ratios", "2,3,4", "comma-separated VM:PM ratios")
 	rounds := flag.Int("rounds", 240, "consolidation rounds (2 simulated minutes each)")
@@ -42,6 +42,10 @@ func main() {
 	scenOut := flag.String("scen-out", "BENCH_scenarios.json", "output path for the -exp scenarios report")
 	scenSizes := flag.String("scen-sizes", "40,80", "comma-separated cluster sizes for -exp scenarios")
 	scenRounds := flag.Int("scen-rounds", 60, "consolidation rounds per scenario run for -exp scenarios")
+	quiesceOut := flag.String("quiesce-out", "BENCH_quiesce.json", "output path for the -exp quiesce report")
+	quiescePMs := flag.Int("quiesce-pms", 500, "cluster size for -exp quiesce")
+	quiesceRounds := flag.Int("quiesce-rounds", 720, "consolidation rounds for -exp quiesce")
+	quiesceFreeze := flag.Int("quiesce-freeze", 60, "round at which demand freezes for -exp quiesce")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -111,6 +115,13 @@ func main() {
 
 	if want["scenarios"] {
 		runScenarios(*seed, *scenRounds, *workers, parseInts(*scenSizes), *scenOut)
+		if len(want) == 1 {
+			return
+		}
+	}
+
+	if want["quiesce"] {
+		runQuiesce(*seed, *quiescePMs, *quiesceRounds, *quiesceFreeze, *quiesceOut)
 		if len(want) == 1 {
 			return
 		}

@@ -47,11 +47,27 @@ type scaleRow struct {
 	VMs     int `json:"vms"`
 	Workers int `json:"workers"`
 
-	// Gomaxprocs and NumCPU are recorded per row (not just in the header)
-	// so a committed row can never be mistaken for evidence of parallel
-	// speedup when the run was taken on a throttled or single-core host.
-	Gomaxprocs int `json:"gomaxprocs"`
-	NumCPU     int `json:"num_cpu"`
+	// The environment is recorded per row (not just in the header) so a
+	// committed row can never be mistaken for evidence of parallel speedup
+	// when the run was taken on a throttled or single-core host.
+	envMeta
+
+	// PairSharded / SkipQuiescent mark which engine options the row ran
+	// with. Sharded rows form their own hash-equivalence class (the sharded
+	// semantics are a distinct deterministic reference); skip rows must
+	// hash identically to the sequential rows of the same size.
+	PairSharded   bool `json:"pair_sharded"`
+	SkipQuiescent bool `json:"skip_quiescent"`
+
+	// PairsBatchesPerRound is the mean number of node-disjoint batches the
+	// pair scheduler produced per sharded protocol pass (0 on unsharded
+	// rows) — the depth of the critical path the fan-out executes.
+	PairsBatchesPerRound float64 `json:"pairs_batches_per_round"`
+	// RoundsSkipped counts rounds batch-advanced by quiescence-skipping (0
+	// unless the row enables it; the synthetic AR workload never goes
+	// fully quiet, so 0 is the expected value here — see BENCH_quiesce.json
+	// for the plateau configuration where the fast path engages).
+	RoundsSkipped int64 `json:"rounds_skipped"`
 
 	PretrainSec      float64 `json:"pretrain_sec"`
 	ConsolidationSec float64 `json:"consolidation_sec"`
@@ -86,8 +102,7 @@ type scaleRow struct {
 }
 
 type scaleReport struct {
-	GOMAXPROCS  int        `json:"gomaxprocs"`
-	NumCPU      int        `json:"num_cpu"`
+	envMeta
 	Ratio       int        `json:"ratio"`
 	LearnRounds int        `json:"learn_rounds"`
 	AggRounds   int        `json:"agg_rounds"`
@@ -159,12 +174,19 @@ func (hw *heapWatcher) Stop() uint64 {
 	return hw.peak
 }
 
+// scaleCellOpts selects the engine execution options of one scale cell.
+type scaleCellOpts struct {
+	pairSharded   bool
+	skipQuiescent bool
+}
+
 // runScaleCell executes one full reduced GLAP experiment at the given size
 // and worker count, timing each stage.
-func runScaleCell(pms, workers int, seed uint64, w *trace.Set) (scaleRow, error) {
+func runScaleCell(pms, workers int, seed uint64, w *trace.Set, opts2 scaleCellOpts) (scaleRow, error) {
 	row := scaleRow{
 		PMs: pms, VMs: pms * scaleRatio, Workers: workers,
-		Gomaxprocs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		envMeta:     currentEnv(),
+		PairSharded: opts2.pairSharded, SkipQuiescent: opts2.skipQuiescent,
 	}
 	cfg := glap.Config{LearnRounds: scaleLearnRounds, AggRounds: scaleAggRounds}
 	opts := glap.PretrainOptions{Workers: workers}
@@ -217,6 +239,8 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set) (scaleRow, error)
 	}
 	e := sim.NewEngine(pms, seed+3)
 	e.Workers = workers
+	e.PairSharded = opts2.pairSharded
+	e.SkipQuiescent = opts2.skipQuiescent
 	b, err := policy.Bind(e, run)
 	if err != nil {
 		hw.Stop()
@@ -229,6 +253,10 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set) (scaleRow, error)
 	e.RunRounds(scaleConsRounds)
 	row.ConsolidationSec = time.Since(start).Seconds()
 	hw.Sample()
+	if passes, batches, _ := e.PairStats(); passes > 0 {
+		row.PairsBatchesPerRound = float64(batches) / float64(passes)
+	}
+	row.RoundsSkipped = e.RoundsSkipped()
 
 	start = time.Now()
 	series.Finalize(run)
@@ -282,8 +310,7 @@ func runScale(seed uint64, outPath string, sizes []int) {
 	defer debug.SetGCPercent(prevGC)
 	defer debug.SetMemoryLimit(prevLimit)
 	rep := scaleReport{
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		NumCPU:      runtime.NumCPU(),
+		envMeta:     currentEnv(),
 		Ratio:       scaleRatio,
 		LearnRounds: scaleLearnRounds,
 		AggRounds:   scaleAggRounds,
@@ -293,10 +320,7 @@ func runScale(seed uint64, outPath string, sizes []int) {
 	workers := scaleWorkerList()
 	fmt.Printf("== scale: sizes=%v workers=%v (GOMAXPROCS=%d) ==\n",
 		sizes, workers, rep.GOMAXPROCS)
-	if rep.GOMAXPROCS == 1 {
-		fmt.Println("WARNING: GOMAXPROCS=1 — worker rows share one OS thread; " +
-			"speedup columns measure scheduling overhead, not parallelism.")
-	}
+	rep.warnIfSerial()
 	for _, pms := range sizes {
 		// The streaming source holds per-VM generator state (a few dozen
 		// bytes) instead of materialised series; at 200k VMs × 100 rounds the
@@ -305,10 +329,35 @@ func runScale(seed uint64, outPath string, sizes []int) {
 		if err != nil {
 			log.Fatal(err)
 		}
+		emit := func(row scaleRow) {
+			rep.Rows = append(rep.Rows, row)
+			mode := "seq    "
+			switch {
+			case row.PairSharded:
+				mode = "sharded"
+			case row.SkipQuiescent:
+				mode = "skip   "
+			}
+			fmt.Printf("pms=%-6d %s workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs batches/round=%.1f skipped=%d heap_peak=%6.1fMB (%.0f B/PM) hash=%s\n",
+				pms, mode, row.Workers, row.PretrainSec, row.PretrainSpeedup,
+				row.PretrainAllocsPerIter, row.PretrainBytesPerIter,
+				row.ConsolidationSec, row.MetricsSec,
+				row.PairsBatchesPerRound, row.RoundsSkipped,
+				float64(row.HeapBytesPeak)/(1<<20), float64(row.HeapBytesPeak)/float64(pms),
+				row.SeriesHash[:12])
+		}
+
+		// Sequential reference rows across the worker list, then sharded
+		// rows across the same list, then one quiescence-skipping row. The
+		// hash classes are checked here, at generation time: all sequential
+		// rows and the skip row share one fingerprint (skipping is provably
+		// unobservable), while the sharded rows share their own (sharded
+		// draws observe round-start state — a distinct deterministic
+		// reference, byte-identical across worker counts).
 		var seqPretrain float64
-		var seqHash string
+		var seqHash, shardedHash string
 		for _, wk := range workers {
-			row, err := runScaleCell(pms, wk, seed, w)
+			row, err := runScaleCell(pms, wk, seed, w, scaleCellOpts{})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -321,13 +370,36 @@ func runScale(seed uint64, outPath string, sizes []int) {
 			if seqHash != "" && row.SeriesHash != seqHash {
 				log.Fatalf("scale: series hash diverged at pms=%d workers=%d", pms, wk)
 			}
-			rep.Rows = append(rep.Rows, row)
-			fmt.Printf("pms=%-6d workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs heap_peak=%6.1fMB (%.0f B/PM) hash=%s\n",
-				pms, wk, row.PretrainSec, row.PretrainSpeedup,
-				row.PretrainAllocsPerIter, row.PretrainBytesPerIter,
-				row.ConsolidationSec, row.MetricsSec,
-				float64(row.HeapBytesPeak)/(1<<20), float64(row.HeapBytesPeak)/float64(pms),
-				row.SeriesHash[:12])
+			emit(row)
+		}
+		for _, wk := range workers {
+			row, err := runScaleCell(pms, wk, seed, w, scaleCellOpts{pairSharded: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if shardedHash == "" {
+				shardedHash = row.SeriesHash
+			}
+			if row.SeriesHash != shardedHash {
+				log.Fatalf("scale: sharded series hash diverged at pms=%d workers=%d", pms, wk)
+			}
+			if seqPretrain > 0 {
+				row.PretrainSpeedup = seqPretrain / row.PretrainSec
+			}
+			emit(row)
+		}
+		{
+			row, err := runScaleCell(pms, 1, seed, w, scaleCellOpts{skipQuiescent: true})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if row.SeriesHash != seqHash {
+				log.Fatalf("scale: quiescence-skipping changed the series hash at pms=%d", pms)
+			}
+			if seqPretrain > 0 {
+				row.PretrainSpeedup = seqPretrain / row.PretrainSec
+			}
+			emit(row)
 		}
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")

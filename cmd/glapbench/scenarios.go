@@ -13,6 +13,7 @@ import (
 // scenarioReport is the BENCH_scenarios.json document: configuration echo
 // plus one row per scenario × size.
 type scenarioReport struct {
+	envMeta
 	Sizes  []int                 `json:"sizes"`
 	Ratio  int                   `json:"ratio"`
 	Rounds int                   `json:"rounds"`
@@ -27,6 +28,7 @@ func runScenarios(seed uint64, rounds, workers int, sizes []int, outPath string)
 		Sizes: sizes, Rounds: rounds, Seed: seed, Workers: workers,
 	}
 	fmt.Printf("== scenario suite: sizes=%v rounds=%d seed=%d ==\n", sizes, rounds, seed)
+	currentEnv().warnIfSerial()
 	rows, err := glapsim.RunScenarios(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -58,7 +60,8 @@ func runScenarios(seed uint64, rounds, workers int, sizes []int, outPath string)
 	w.Flush()
 
 	report := scenarioReport{
-		Sizes: sizes, Ratio: 2, Rounds: rounds, Seed: seed, Rows: rows,
+		envMeta: currentEnv(),
+		Sizes:   sizes, Ratio: 2, Rounds: rounds, Seed: seed, Rows: rows,
 	}
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -1,0 +1,132 @@
+package dc
+
+import "github.com/glap-sim/glap/internal/par"
+
+// Quiet-round certification and fused span advance. QuietSpan is the pure
+// probe behind sim.SpanHook.Quiet: it proves that AdvanceRound would be a
+// pure repetition for every round of [from, to) — no lifecycle event fires,
+// no reservation is in flight, and every placed VM's demand stays exactly
+// constant. AdvanceSpan is the matching SpanHook.Span: it replays the per-VM
+// and per-PM accounting for the whole span in one fused pass, bit-identical
+// to calling AdvanceRound once per round.
+//
+// The demand check is exact, not level-bucketed: PM energy is continuous in
+// CPU utilisation (Eq. 1), so any demand drift — even one that never crosses
+// a level boundary — changes the energy ledger and must keep the per-round
+// path. Exact constancy also makes the replay below trivially exact: every
+// skipped round folds the same current-demand vector. Level-boundary
+// stability of the running averages is then implied: the average moves
+// monotonically toward the (constant) current value per component, so if its
+// level bucket matched before the span it matches throughout (the
+// consolidation protocol's certificate builds on this).
+
+// QuietSpan reports whether rounds [from, to) are provably inert for the
+// cluster's demand and lifecycle accounting. It mutates nothing but the
+// per-VM certificate cache, which stores proven facts about the immutable
+// workload trace. from must be >= 1 (the engine never probes round 0), so
+// the anchor sample at from-1 is the demand AdvanceRound(from-1) installed.
+func (c *Cluster) QuietSpan(from, to int) bool {
+	if from >= to {
+		return true
+	}
+	if len(c.reservations) > 0 {
+		return false
+	}
+	if c.vmQuietFrom == nil {
+		c.vmQuietFrom = make([]int32, len(c.VMs))
+		c.vmQuietUntil = make([]int32, len(c.VMs))
+	}
+	for id := range c.VMs {
+		flags := c.vmFlags[id]
+		if flags&vmFlagPending != 0 {
+			return false // scheduled or retrying arrival
+		}
+		if c.vmHost[id] < 0 {
+			continue // departed or never-arriving: AdvanceRound skips it
+		}
+		if d := c.vmDepart[id]; d >= 0 && int(d) < to {
+			return false // departure fires inside the span
+		}
+		// Demand constancy, served from the certificate cache when a
+		// previously proven window covers the query. Certified windows share
+		// the anchor transitively (from lies inside or at the start of the
+		// cached window), so containment is sufficient.
+		if int(c.vmQuietFrom[id]) <= from && to <= int(c.vmQuietUntil[id]) && c.vmQuietUntil[id] > 0 {
+			continue
+		}
+		nc := c.workload.NextChange(id, from, to)
+		c.vmQuietFrom[id] = int32(from)
+		c.vmQuietUntil[id] = int32(nc)
+		if nc < to {
+			return false
+		}
+	}
+	return true
+}
+
+// AdvanceSpan advances the cluster across the certified-quiet rounds
+// [from, to) in one fused pass. It must only run after QuietSpan(from, to)
+// returned true. Per-VM running averages replay their k := to-from updates
+// register-exactly (float division is not foldable); time and energy
+// accumulators replay k individual additions for the same reason. The per-PM
+// demand sums are folded once from the final per-VM values — exactly what
+// the last sequential AdvanceRound's from-scratch rebuild would produce.
+func (c *Cluster) AdvanceSpan(from, to int) {
+	k := to - from
+	if k <= 0 {
+		return
+	}
+	c.round = to - 1
+	// No stepLifecycle: QuietSpan proved no arrival or departure is due.
+	par.ForChunks(len(c.VMs), vmChunk, c.Workers, func(lo, hi int) {
+		for id := lo; id < hi; id++ {
+			if c.vmHost[id] < 0 {
+				continue
+			}
+			cur := c.vmCur[id] // constant across the span, per the certificate
+			avg := c.vmAvg[id]
+			n := float64(c.vmCount[id])
+			for j := 0; j < k; j++ {
+				for res := 0; res < NumResources; res++ {
+					avg[res] = (n*avg[res] + cur[res]) / (n + 1)
+				}
+				n++
+			}
+			c.vmAvg[id] = avg
+			c.vmCount[id] += int32(k)
+			reqAdd := cur[CPU] * c.vmCap[id][CPU] * c.RoundSeconds
+			for j := 0; j < k; j++ {
+				c.vmRequested[id] += reqAdd
+			}
+		}
+	})
+	par.ForChunks(len(c.PMs), pmChunk, c.Workers, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			var curSum, avgSum Vec
+			for _, id := range c.pmVMs[p] {
+				cur, avg, cp := c.vmCur[id], c.vmAvg[id], c.vmCap[id]
+				curSum = curSum.Add(Vec{cur[CPU] * cp[CPU], cur[Mem] * cp[Mem]})
+				avgSum = avgSum.Add(Vec{avg[CPU] * cp[CPU], avg[Mem] * cp[Mem]})
+			}
+			c.pmCurSum[p] = curSum
+			c.pmAvgSum[p] = avgSum
+			if !c.pmOn(p) {
+				continue
+			}
+			pm := c.PMs[p]
+			cpuU := curSum.Div(pm.Spec.Capacity)[CPU]
+			over := cpuU >= 1
+			if over {
+				cpuU = 1
+			}
+			eAdd := (pm.Spec.PowerIdleW + (pm.Spec.PowerMaxW-pm.Spec.PowerIdleW)*cpuU) * c.RoundSeconds
+			for j := 0; j < k; j++ {
+				c.pmActiveSec[p] += c.RoundSeconds
+				if over {
+					c.pmOverloadSec[p] += c.RoundSeconds
+				}
+				c.pmEnergyJ[p] += eAdd
+			}
+		}
+	})
+}

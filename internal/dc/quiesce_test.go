@@ -1,0 +1,144 @@
+package dc
+
+import (
+	"testing"
+
+	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+// mustStepWorkload builds a workload constant everywhere except VM 0, whose
+// demand steps up at round changeAt.
+func mustStepWorkload(t *testing.T, vms, rounds, changeAt int) *trace.Set {
+	t.Helper()
+	var b []byte
+	b = append(b, []byte("vm,round,cpu,mem\n")...)
+	for vm := 0; vm < vms; vm++ {
+		for r := 0; r < rounds; r++ {
+			v := 0.3
+			if vm == 0 && r >= changeAt {
+				v = 0.5
+			}
+			b = appendRow(b, vm, r, v, v)
+		}
+	}
+	set, err := trace.LoadCSV(bytesReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestQuietSpanDemandChange(t *testing.T) {
+	set := mustStepWorkload(t, 8, 20, 12)
+	c, err := New(Config{PMs: 4, Workload: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := sim.NewRNG(3)
+	c.PlaceRandom(rng.Intn)
+	c.AdvanceRound(0)
+	if !c.QuietSpan(1, 12) {
+		t.Fatal("window before the step must certify quiet")
+	}
+	if c.QuietSpan(1, 13) {
+		t.Fatal("window containing the step must not certify")
+	}
+	// The certificate cache must not leak the short window's verdict into
+	// the longer one (and vice versa on re-probe).
+	if !c.QuietSpan(1, 12) {
+		t.Fatal("re-probe of the quiet window flipped after a failed probe")
+	}
+	// From inside the stepped tail the demand is constant again.
+	for r := 1; r <= 12; r++ {
+		c.AdvanceRound(r)
+	}
+	if !c.QuietSpan(13, 20) {
+		t.Fatal("post-step tail must certify quiet")
+	}
+}
+
+func TestQuietSpanReservationBlocks(t *testing.T) {
+	c := newTestCluster(t, 4, 8, 0.3, 0.3)
+	c.AdvanceRound(0)
+	if !c.QuietSpan(1, 10) {
+		t.Fatal("constant workload must certify quiet")
+	}
+	var target *PM
+	for _, pm := range c.PMs {
+		if pm.On() {
+			target = pm
+			break
+		}
+	}
+	if err := c.Reserve(target, 42, Vec{0.1, 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if c.QuietSpan(1, 10) {
+		t.Fatal("in-flight reservation must block certification")
+	}
+	if !c.ReleaseReservation(target, 42) {
+		t.Fatal("reservation 42 should have been open")
+	}
+	if !c.QuietSpan(1, 10) {
+		t.Fatal("released reservation must unblock certification")
+	}
+}
+
+// TestAdvanceSpanMatchesAdvanceRound pins the fused span advance
+// bit-identical to the per-round path over a certified-quiet window: every
+// running average, counter, and energy/time accumulator must match exactly.
+func TestAdvanceSpanMatchesAdvanceRound(t *testing.T) {
+	build := func() *Cluster {
+		set := mustSyntheticConst(t, 16, 10, 0.37, 0.29)
+		c, err := New(Config{PMs: 6, Workload: set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRNG(11)
+		c.PlaceRandom(rng.Intn)
+		c.AdvanceRound(0)
+		return c
+	}
+	const to = 9
+	seq, fused := build(), build()
+	for r := 1; r < to; r++ {
+		seq.AdvanceRound(r)
+	}
+	if !fused.QuietSpan(1, to) {
+		t.Fatal("constant workload must certify quiet")
+	}
+	fused.AdvanceSpan(1, to)
+
+	if seq.round != fused.round {
+		t.Fatalf("round: seq %d, fused %d", seq.round, fused.round)
+	}
+	for id := range seq.VMs {
+		if seq.vmAvg[id] != fused.vmAvg[id] {
+			t.Fatalf("vm %d avg: seq %v, fused %v", id, seq.vmAvg[id], fused.vmAvg[id])
+		}
+		if seq.vmCount[id] != fused.vmCount[id] {
+			t.Fatalf("vm %d count: seq %d, fused %d", id, seq.vmCount[id], fused.vmCount[id])
+		}
+		if seq.vmRequested[id] != fused.vmRequested[id] {
+			t.Fatalf("vm %d requested: seq %v, fused %v", id, seq.vmRequested[id], fused.vmRequested[id])
+		}
+	}
+	for p := range seq.PMs {
+		if seq.pmCurSum[p] != fused.pmCurSum[p] || seq.pmAvgSum[p] != fused.pmAvgSum[p] {
+			t.Fatalf("pm %d demand sums diverged", p)
+		}
+		if seq.pmEnergyJ[p] != fused.pmEnergyJ[p] {
+			t.Fatalf("pm %d energy: seq %v, fused %v", p, seq.pmEnergyJ[p], fused.pmEnergyJ[p])
+		}
+		if seq.pmActiveSec[p] != fused.pmActiveSec[p] || seq.pmOverloadSec[p] != fused.pmOverloadSec[p] {
+			t.Fatalf("pm %d time accounting diverged", p)
+		}
+	}
+	if err := seq.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fused.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

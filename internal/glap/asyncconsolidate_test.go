@@ -159,3 +159,103 @@ func TestAsyncConsolidateDeterminism(t *testing.T) {
 		t.Fatalf("non-deterministic: run1=(%d,%d,%d) run2=(%d,%d,%d)", a1, c1, s1, a2, c2, s2)
 	}
 }
+
+// TestAsyncLostVerdictReleasesReservation drives the target-side expiry path
+// deterministically: an offer is accepted and reserved, but the verdict (and
+// everything after it) is lost, so no commit or abort ever arrives. The hold
+// timer — armed for two request timeouts — must release the reservation on
+// retry exhaustion instead of pinning target capacity forever.
+func TestAsyncLostVerdictReleasesReservation(t *testing.T) {
+	shared := pretrainShared(t, 4, 8, 8, 3)
+	cl := genCluster(t, 4, 8, 8, 3)
+	e := sim.NewEngine(4, 4)
+	b, err := policy.Bind(e, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sim.NewTransport(e, sim.ConstantLatency(1))
+	tr.DropProb = 1 // the verdict vanishes; the sender never answers
+	cons := &AsyncConsolidateProtocol{
+		B: b, Tr: tr, OfferTimeout: 10,
+		Tables: func(*sim.Engine, *sim.Node) *NodeTables { return shared },
+	}
+	tr.Handle(cons)
+	e.Register(cons)
+
+	e.RunEvents(0) // run protocol setup without executing any round
+	target := e.Nodes()[0]
+	pm := b.PM(target)
+	var vm *dc.VM
+	for _, cand := range cl.VMs {
+		if cand.Host() >= 0 && cand.Host() != pm.ID {
+			vm = cand
+			break
+		}
+	}
+	if vm == nil {
+		t.Fatal("no VM hosted away from the target PM")
+	}
+	act := cons.vmAction(vm)
+	// Guarantee π_in admits the offer so the test exercises the reservation,
+	// not the vet.
+	shared.In.Set(cons.pmState(cl, pm), act, 1)
+	demand := dc.Vec{1, 1}
+	cons.onOffer(e, target, vm.Host(), acOffer{
+		Token: 42, VM: vm.ID, Action: act, Demand: demand, AvgDemand: demand,
+	})
+	if cons.Accepts != 1 {
+		t.Fatalf("Accepts = %d, want the offer accepted", cons.Accepts)
+	}
+	if cl.OpenReservations() != 1 {
+		t.Fatalf("OpenReservations = %d after acceptance, want 1", cl.OpenReservations())
+	}
+	if cl.Reserved(pm) == (dc.Vec{}) {
+		t.Fatal("acceptance reserved no capacity on the target")
+	}
+
+	e.RunEvents(-1)
+	if cl.OpenReservations() != 0 {
+		t.Fatalf("OpenReservations = %d after drain, want 0", cl.OpenReservations())
+	}
+	if cl.Reserved(pm) != (dc.Vec{}) {
+		t.Fatalf("target still pins reserved capacity %v", cl.Reserved(pm))
+	}
+	if cons.Expired != 1 {
+		t.Fatalf("Expired = %d, want the hold timer counted once", cons.Expired)
+	}
+	if cons.OpenRequests() != 0 {
+		t.Fatalf("OpenRequests = %d after drain", cons.OpenRequests())
+	}
+	if err := cl.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAsyncTotalLossDrainsClean runs the full stack under 100% message loss:
+// every exchange and offer retries to exhaustion. After the drain no node
+// may remain busy, no request may stay open, no reservation may survive and
+// nothing can have committed.
+func TestAsyncTotalLossDrainsClean(t *testing.T) {
+	shared := pretrainShared(t, 8, 16, 10, 5)
+	cl, cons, _ := runAsyncConsolidate(t, shared, 8, 16, 10, 6, 5, 1.0, 1)
+	if cons.Exchanges == 0 {
+		t.Fatal("no exchange was ever started")
+	}
+	if cons.Expired == 0 {
+		t.Fatal("total loss produced no expiries — retries did not exhaust")
+	}
+	if cons.Commits != 0 {
+		t.Fatalf("Commits = %d under total loss", cons.Commits)
+	}
+	if cons.OpenRequests() != 0 {
+		t.Fatalf("OpenRequests = %d after drain", cons.OpenRequests())
+	}
+	if cl.OpenReservations() != 0 {
+		t.Fatalf("OpenReservations = %d after drain", cl.OpenReservations())
+	}
+	for _, n := range cons.rtEngine.Nodes() {
+		if cons.state(cons.rtEngine, n).busy {
+			t.Fatalf("node %d still busy after drain", n.ID)
+		}
+	}
+}

@@ -93,3 +93,75 @@ func TestReqTableDistinctIDs(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// TestReqTableReplyAtDeadlineWins pins the priority contract AddRetry
+// documents: Transport delivers responses at priority 1 and deadlines fire
+// at priority 2, so a reply landing at exactly the timeout's timestamp
+// resolves the request and the expiry callback must not run.
+func TestReqTableReplyAtDeadlineWins(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	expired := false
+	id := rt.Add(10, func(uint64) { expired = true })
+	resolved := false
+	e.After(10, 1, func() { resolved = rt.Resolve(id) })
+	e.RunEvents(-1)
+	if !resolved {
+		t.Fatal("reply sharing the deadline's timestamp failed to resolve the request")
+	}
+	if expired {
+		t.Fatal("timeout fired despite the same-timestamp reply")
+	}
+	if rt.Open() != 0 {
+		t.Fatalf("Open = %d", rt.Open())
+	}
+}
+
+// TestReqTableReplyBehindDeadlineLoses is the converse: a reply queued
+// behind the deadline at the same timestamp (priority 3) finds the request
+// already expired.
+func TestReqTableReplyBehindDeadlineLoses(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	expired := false
+	id := rt.Add(10, func(uint64) { expired = true })
+	resolved := true
+	e.After(10, 3, func() { resolved = rt.Resolve(id) })
+	e.RunEvents(-1)
+	if !expired {
+		t.Fatal("timeout did not fire")
+	}
+	if resolved {
+		t.Fatal("reply resolved a request that had already expired")
+	}
+}
+
+// TestReqTableRetryExhaustionTiming pins the retry schedule: attempts fire
+// at timeout boundaries, onFail runs exactly once when the last deadline
+// lapses, and the table is empty afterwards so nothing can leak.
+func TestReqTableRetryExhaustionTiming(t *testing.T) {
+	e := NewEngine(1, 1)
+	rt := NewReqTable(e)
+	var sendTimes, failTimes []int64
+	id := rt.AddRetry(10, 3, func() { sendTimes = append(sendTimes, e.Now()) },
+		func(uint64) { failTimes = append(failTimes, e.Now()) })
+	e.RunEvents(-1)
+	wantSends := []int64{0, 10, 20}
+	if len(sendTimes) != len(wantSends) {
+		t.Fatalf("sends at %v, want %v", sendTimes, wantSends)
+	}
+	for i, at := range wantSends {
+		if sendTimes[i] != at {
+			t.Fatalf("sends at %v, want %v", sendTimes, wantSends)
+		}
+	}
+	if len(failTimes) != 1 || failTimes[0] != 30 {
+		t.Fatalf("onFail at %v, want exactly once at t=30", failTimes)
+	}
+	if rt.Open() != 0 {
+		t.Fatalf("Open = %d after exhaustion", rt.Open())
+	}
+	if rt.Resolve(id) {
+		t.Fatal("Resolve succeeded after retry exhaustion")
+	}
+}

@@ -1,0 +1,61 @@
+package trace
+
+// NextChange returns the first round t in [from, to) at which VM vm's sample
+// differs from its sample at round from-1, or to when the demand stays exactly
+// constant across the whole window. It is the primitive behind the cluster's
+// quiet-round certificate: a span is only skippable when every VM's demand is
+// bit-identical round over round, so the comparison is exact, not
+// level-bucketed.
+//
+// The probe is pure — streaming sets are scanned on a value copy of the VM's
+// synthesis state, so the live cursor used by At is never disturbed. Because
+// series repeat with period Rounds(), a window of one full period with no
+// change proves constancy forever; the scan is capped there.
+func (s *Set) NextChange(vm, from, to int) int {
+	if from >= to {
+		return to
+	}
+	// Cap the scan at one trace period past from: beyond that the series
+	// repeats, so an unchanged period certifies the rest of the window.
+	limit := to
+	if cap := from + s.rounds; cap < limit {
+		limit = cap
+	}
+	if s.streams == nil {
+		ser := s.series[vm]
+		n := len(ser)
+		anchor := ser[((from-1)%n+n)%n]
+		for t := from; t < limit; t++ {
+			if ser[t%n] != anchor {
+				return t
+			}
+		}
+		return to
+	}
+	// Streaming: replay on a throwaway copy. Position the copy at from-1 to
+	// read the anchor, then step forward through the window.
+	st := s.streams[vm]
+	anchor := s.probeAt(&st, vm, from-1)
+	for t := from; t < limit; t++ {
+		if s.probeAt(&st, vm, t) != anchor {
+			return t
+		}
+	}
+	return to
+}
+
+// probeAt is streamAt against a detached stream copy: same fast paths, same
+// wrap-around, no effect on the live per-VM cursor.
+func (s *Set) probeAt(st *vmStream, vm, r int) Sample {
+	r %= s.rounds
+	if r == st.next-1 {
+		return st.last
+	}
+	if r < st.next {
+		st.resetHeader(s.arch[vm], &s.streamCfg, s.basePhase)
+	}
+	for st.next <= r {
+		st.step(&s.streamCfg, st.next)
+	}
+	return st.last
+}

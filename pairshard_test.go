@@ -1,0 +1,129 @@
+package glapsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"reflect"
+	"testing"
+)
+
+// fingerprint runs x and returns the SHA-256 of its serialised Series plus
+// the Result itself for counter assertions.
+func fingerprint(t *testing.T, x Experiment) (string, *Result) {
+	t.Helper()
+	res, err := Run(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sha256.Sum256([]byte(serializeSeries(res)))
+	return hex.EncodeToString(sum[:]), res
+}
+
+// TestPairShardedWorkerDifferential is the headline invariant of the pair
+// scheduler: with PairSharded enabled, the full Series fingerprint must be
+// byte-identical between Workers=1 and Workers=8 for every registered policy
+// and several seeds. The batch coloring depends only on the drawn pair list,
+// never on the worker count, so the fan-out is unobservable.
+func TestPairShardedWorkerDifferential(t *testing.T) {
+	for _, p := range RegisteredPolicies() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			for _, seed := range []uint64{7, 23, 41} {
+				run := func(workers int) (string, *Result) {
+					return fingerprint(t, Experiment{
+						PMs: 20, Ratio: 2, Rounds: 40, Seed: seed, Policy: p,
+						GLAP:        fastGLAP(),
+						Workers:     workers,
+						PairSharded: true,
+					})
+				}
+				seq, seqRes := run(1)
+				par, _ := run(8)
+				if seq != par {
+					t.Fatalf("policy %s seed %d: Series fingerprint differs between Workers=1 (%s) and Workers=8 (%s)",
+						p, seed, seq, par)
+				}
+				if p == PolicyGLAP && seqRes.PairPasses == 0 {
+					t.Fatalf("policy %s seed %d: PairSharded run recorded no sharded passes — the opt-in did not engage", p, seed)
+				}
+			}
+		})
+	}
+}
+
+// pairShardedGoldenHash pins the golden experiment under pair-sharded
+// execution. It intentionally differs from goldenSeriesHash: sharded
+// execution is its own reference point (every draw in a pass observes
+// round-start state instead of the sequential path's interleaved effects),
+// so it gets its own byte-for-byte pin.
+// Regenerate with GLAP_GOLDEN_UPDATE=1 go test -run TestPairShardedGolden -v .
+const pairShardedGoldenHash = "f234bdd362b838f08e27ce101b5040cc119689b6a0389ed3277f93a379a7f9d3"
+
+// TestPairShardedGolden pins the sharded reference fingerprint and checks
+// the sharded counters are live: passes, batches and pairs must all be
+// recorded for a GLAP run.
+func TestPairShardedGolden(t *testing.T) {
+	x := goldenExperiment()
+	x.PairSharded = true
+	got, res := fingerprint(t, x)
+	if res.PairPasses <= 0 || res.PairBatches <= 0 || res.PairCount <= 0 {
+		t.Fatalf("sharded counters not recorded: passes=%d batches=%d pairs=%d",
+			res.PairPasses, res.PairBatches, res.PairCount)
+	}
+	if res.PairBatches < res.PairPasses {
+		t.Fatalf("fewer batches (%d) than passes (%d): every pass needs at least one batch",
+			res.PairBatches, res.PairPasses)
+	}
+	if os.Getenv("GLAP_GOLDEN_UPDATE") != "" {
+		t.Logf("pairShardedGoldenHash = %q (passes=%d batches=%d pairs=%d)",
+			got, res.PairPasses, res.PairBatches, res.PairCount)
+		return
+	}
+	if got != pairShardedGoldenHash {
+		t.Fatalf("pair-sharded golden fingerprint changed:\n got %s\nwant %s", got, pairShardedGoldenHash)
+	}
+}
+
+// TestPairShardedRobustGridWorkerInvariance replays the small robustness grid
+// with pair-sharding enabled at two replication worker budgets and requires
+// the entire result — sync reference and every async cell — to be equal.
+func TestPairShardedRobustGridWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robust grid in -short mode")
+	}
+	run := func(workers int) *RobustResult {
+		res, err := RunRobust(RobustConfig{
+			PMs: 20, Ratio: 2, Rounds: 30, Reps: 2, Seed: 7,
+			DropProbs: []float64{0, 0.2}, Latencies: []int64{1, 30},
+			Workers: workers, PairSharded: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(1), run(8); !reflect.DeepEqual(a, b) {
+		t.Fatalf("robust grid with PairSharded diverged between Workers=1 and Workers=8:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestPairShardedScenarioWorkerInvariance checks one scenario row's series
+// hash is worker-count invariant under pair-sharding.
+func TestPairShardedScenarioWorkerInvariance(t *testing.T) {
+	run := func(workers int) []ScenarioRow {
+		rows, err := RunScenarios(ScenarioConfig{
+			Sizes: []int{16}, Rounds: 20, Seed: 1, Workers: workers,
+			Scenarios: []Scenario{ScenarioHetero}, PairSharded: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(1), run(8)
+	if a[0].SeriesHash != b[0].SeriesHash {
+		t.Fatalf("scenario hash with PairSharded diverged between Workers=1 (%s) and Workers=8 (%s)",
+			a[0].SeriesHash, b[0].SeriesHash)
+	}
+}

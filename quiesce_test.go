@@ -1,0 +1,165 @@
+package glapsim
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/trace"
+)
+
+// constantWorkload builds a workload whose per-VM demand never changes: the
+// strongest possible quiescence scenario. Demands are spread across VMs so
+// placement and consolidation stay non-trivial.
+func constantWorkload(t *testing.T, vms int) *trace.Set {
+	t.Helper()
+	const rounds = 4 // NextChange proves constancy from one full period
+	var b strings.Builder
+	b.WriteString("vm,round,cpu,mem\n")
+	for vm := 0; vm < vms; vm++ {
+		cpu := 0.10 + 0.012*float64(vm%20)
+		mem := 0.08 + 0.010*float64(vm%17)
+		for r := 0; r < rounds; r++ {
+			fmt.Fprintf(&b, "%d,%d,%.6f,%.6f\n", vm, r, cpu, mem)
+		}
+	}
+	w, err := trace.LoadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestSkipQuiescentDifferential: for every registered policy and several
+// seeds, enabling quiescence-skipping must not change a single byte of the
+// Series fingerprint. Policies whose protocols cannot certify inactivity
+// simply never skip; the ones that can must skip invisibly.
+func TestSkipQuiescentDifferential(t *testing.T) {
+	for _, p := range RegisteredPolicies() {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			for _, seed := range []uint64{7, 23} {
+				run := func(skip bool) string {
+					h, _ := fingerprint(t, Experiment{
+						PMs: 20, Ratio: 2, Rounds: 40, Seed: seed, Policy: p,
+						GLAP:          fastGLAP(),
+						SkipQuiescent: skip,
+					})
+					return h
+				}
+				off, on := run(false), run(true)
+				if off != on {
+					t.Fatalf("policy %s seed %d: Series fingerprint differs with SkipQuiescent off (%s) vs on (%s)",
+						p, seed, off, on)
+				}
+			}
+		})
+	}
+}
+
+// TestSkipQuiescentGoldenUnchanged: the skip path shares the sequential
+// reference (a skipped tail is provably unobservable), so the golden
+// experiment with SkipQuiescent enabled must still produce the pinned
+// sequential fingerprint — not a new one.
+func TestSkipQuiescentGoldenUnchanged(t *testing.T) {
+	x := goldenExperiment()
+	x.SkipQuiescent = true
+	got, _ := fingerprint(t, x)
+	if got != goldenSeriesHash {
+		t.Fatalf("golden fingerprint with SkipQuiescent: got %s, want %s", got, goldenSeriesHash)
+	}
+}
+
+// TestSkipQuiescentPlateau pins that the fast path actually engages: on a
+// constant-demand workload the replay-only stack (PolicyNone, no protocols)
+// must certify the whole tail after the first live round, and the skipped
+// run must still match the unskipped fingerprint byte for byte.
+func TestSkipQuiescentPlateau(t *testing.T) {
+	w := constantWorkload(t, 40)
+	run := func(skip bool) (string, *Result) {
+		return fingerprint(t, Experiment{
+			PMs: 20, Ratio: 2, Rounds: 50, Seed: 7, Policy: PolicyNone,
+			Workload:      w,
+			SkipQuiescent: skip,
+		})
+	}
+	off, offRes := run(false)
+	on, onRes := run(true)
+	if off != on {
+		t.Fatalf("plateau fingerprint differs with SkipQuiescent off (%s) vs on (%s)", off, on)
+	}
+	if offRes.RoundsSkipped != 0 {
+		t.Fatalf("SkipQuiescent disabled but %d rounds skipped", offRes.RoundsSkipped)
+	}
+	if onRes.RoundsSkipped != 49 {
+		t.Fatalf("constant workload with no protocols skipped %d rounds, want 49 (all but round 0)",
+			onRes.RoundsSkipped)
+	}
+}
+
+// TestSkipQuiescentPlateauGLAP drives the full sync GLAP stack on constant
+// demand long enough for consolidation to reach its fixed point, and
+// requires (a) byte-identical output and (b) a non-empty skipped tail — the
+// consolidation inactivity certificate must eventually fire.
+func TestSkipQuiescentPlateauGLAP(t *testing.T) {
+	w := constantWorkload(t, 40)
+	run := func(skip bool) (string, *Result) {
+		return fingerprint(t, Experiment{
+			PMs: 20, Ratio: 2, Rounds: 80, Seed: 7, Policy: PolicyGLAP,
+			GLAP:          fastGLAP(),
+			Workload:      w,
+			SkipQuiescent: skip,
+		})
+	}
+	off, _ := run(false)
+	on, onRes := run(true)
+	if off != on {
+		t.Fatalf("GLAP plateau fingerprint differs with SkipQuiescent off (%s) vs on (%s)", off, on)
+	}
+	if onRes.RoundsSkipped == 0 {
+		t.Fatal("GLAP on constant demand skipped no rounds — the consolidation inactivity certificate never fired")
+	}
+}
+
+// TestSkipQuiescentRobustGridInvariance replays the small robustness grid
+// with and without quiescence-skipping; the entire result must be equal.
+func TestSkipQuiescentRobustGridInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("robust grid in -short mode")
+	}
+	run := func(skip bool) *RobustResult {
+		res, err := RunRobust(RobustConfig{
+			PMs: 20, Ratio: 2, Rounds: 30, Reps: 2, Seed: 7,
+			DropProbs: []float64{0, 0.2}, Latencies: []int64{1, 30},
+			SkipQuiescent: skip,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(false), run(true); !reflect.DeepEqual(a, b) {
+		t.Fatalf("robust grid diverged with SkipQuiescent on vs off:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestSkipQuiescentScenarioInvariance checks one scenario row's series hash
+// is unchanged by quiescence-skipping.
+func TestSkipQuiescentScenarioInvariance(t *testing.T) {
+	run := func(skip bool) []ScenarioRow {
+		rows, err := RunScenarios(ScenarioConfig{
+			Sizes: []int{16}, Rounds: 20, Seed: 1,
+			Scenarios: []Scenario{ScenarioHetero}, SkipQuiescent: skip,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	a, b := run(false), run(true)
+	if a[0].SeriesHash != b[0].SeriesHash {
+		t.Fatalf("scenario hash diverged with SkipQuiescent off (%s) vs on (%s)",
+			a[0].SeriesHash, b[0].SeriesHash)
+	}
+}

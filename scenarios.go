@@ -73,6 +73,11 @@ type ScenarioConfig struct {
 	GLAP glap.Config
 	// Scenarios selects the families to run (default DefaultScenarios).
 	Scenarios []Scenario
+	// PairSharded / SkipQuiescent forward the engine's pair-sharded
+	// execution and quiescence-skipping options into every cell (see
+	// Experiment); the suite's series hashes are invariant to both.
+	PairSharded   bool
+	SkipQuiescent bool
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -184,6 +189,7 @@ func baseScenarioExperiment(cfg ScenarioConfig, pms int, seed uint64) Experiment
 		PMs: pms, Ratio: cfg.Ratio, Rounds: cfg.Rounds, Seed: seed,
 		Workers: cfg.Workers, GLAP: cfg.GLAP,
 		CyclonViewSize: 20, CyclonShuffleLen: 8,
+		PairSharded: cfg.PairSharded, SkipQuiescent: cfg.SkipQuiescent,
 	}
 }
 
