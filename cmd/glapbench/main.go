@@ -100,7 +100,18 @@ func main() {
 	}
 
 	if want["scale"] {
-		runScale(*seed, *scaleOut, parseInts(*scaleSizesFlag))
+		// -scale-sizes wins; otherwise an explicitly passed -sizes selects
+		// the subset (so `-exp scale -sizes 500,2000` works like every other
+		// experiment), and with neither the built-in grid up to 100k runs.
+		scaleGrid := parseInts(*scaleSizesFlag)
+		if len(scaleGrid) == 0 {
+			sizesSet := false
+			flag.Visit(func(f *flag.Flag) { sizesSet = sizesSet || f.Name == "sizes" })
+			if sizesSet {
+				scaleGrid = parseInts(*sizes)
+			}
+		}
+		runScale(*seed, *scaleOut, scaleGrid)
 		if len(want) == 1 {
 			return
 		}

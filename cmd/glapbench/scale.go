@@ -17,7 +17,9 @@ import (
 	"github.com/glap-sim/glap/internal/glap"
 	"github.com/glap-sim/glap/internal/metrics"
 	"github.com/glap-sim/glap/internal/policy"
+	"github.com/glap-sim/glap/internal/qlearn"
 	"github.com/glap-sim/glap/internal/sim"
+	"github.com/glap-sim/glap/internal/stats"
 	"github.com/glap-sim/glap/internal/trace"
 )
 
@@ -51,6 +53,12 @@ type scaleRow struct {
 	// committed row can never be mistaken for evidence of parallel speedup
 	// when the run was taken on a throttled or single-core host.
 	envMeta
+
+	// Precision is the Q-value storage tier the row ran on ("f64"/"f32").
+	// F32 rows form their own hash-equivalence class: rounded Q-values
+	// legitimately produce a different decision series, which must still be
+	// byte-identical across worker counts.
+	Precision string `json:"precision"`
 
 	// PairSharded / SkipQuiescent mark which engine options the row ran
 	// with. Sharded rows form their own hash-equivalence class (the sharded
@@ -87,6 +95,21 @@ type scaleRow struct {
 	// PretrainSpeedup is this row's pretrain time relative to the same-size
 	// workers=1 row (1.0 for the sequential row itself).
 	PretrainSpeedup float64 `json:"pretrain_speedup"`
+
+	// ValueBytes is the post-pretrain Q-value storage across every node's
+	// tables — capacity of the pooled value arrays, charged 8 B/slot on the
+	// F64 tier and 4 B/slot on F32. It is the term of the memory floor the
+	// precision tier halves, measured rather than projected.
+	ValueBytes int64 `json:"value_bytes"`
+
+	// MergeNsPerPair times one steady-state pairwise merge on the converged
+	// tables (COW detach of one endpoint plus a full sets-equal average
+	// scan — the shape of every exchange in saturated aggregation gossip).
+	MergeNsPerPair float64 `json:"merge_ns_per_pair"`
+	// CosineNsPerSample times one φ^io cosine sample over the dense
+	// convergence vectors on the row's tier (13122 elements; the F32 tier
+	// scans half the bytes).
+	CosineNsPerSample float64 `json:"cosine_ns_per_sample"`
 
 	// HeapBytesPeak is the highest live-heap watermark (runtime.MemStats
 	// HeapAlloc) observed across the whole cell — build, pretrain,
@@ -178,6 +201,50 @@ func (hw *heapWatcher) Stop() uint64 {
 type scaleCellOpts struct {
 	pairSharded   bool
 	skipQuiescent bool
+	prec          qlearn.Precision
+}
+
+// microSink keeps the micro-benchmark loops below observable.
+var microSink float64
+
+// measureMergeNs times one steady-state pairwise merge over clones of the
+// converged tables: perturb one cell of a shared-backing endpoint, then
+// merge — a copy-on-write detach plus a full sets-equal average scan, the
+// dominant shape once aggregation gossip saturates. The clones draw no
+// engine randomness, so the measurement never disturbs the row's series.
+func measureMergeNs(tables *glap.NodeTables) float64 {
+	p, q := tables.Out.Clone(), tables.Out.Clone()
+	qlearn.Unify(p, q) // align onto one shared backing first
+	const iters = 200
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		q.Set(1, 2, float64(i))
+		qlearn.Unify(p, q)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+// measureCosineNs times one dense φ^io cosine sample on the row's tier.
+func measureCosineNs(tables *glap.NodeTables, prec qlearn.Precision) float64 {
+	const iters = 200
+	if prec == qlearn.F32 {
+		a := append([]float32(nil), tables.IOVec32()...)
+		b := append([]float32(nil), a...)
+		b[0]++
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			microSink += stats.CosineAligned32(a, b)
+		}
+		return float64(time.Since(start).Nanoseconds()) / iters
+	}
+	a := append([]float64(nil), tables.IOVec()...)
+	b := append([]float64(nil), a...)
+	b[0]++
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		microSink += stats.CosineAligned(a, b)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
 }
 
 // runScaleCell executes one full reduced GLAP experiment at the given size
@@ -186,9 +253,10 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set, opts2 scaleCellOp
 	row := scaleRow{
 		PMs: pms, VMs: pms * scaleRatio, Workers: workers,
 		envMeta:     currentEnv(),
+		Precision:   opts2.prec.String(),
 		PairSharded: opts2.pairSharded, SkipQuiescent: opts2.skipQuiescent,
 	}
-	cfg := glap.Config{LearnRounds: scaleLearnRounds, AggRounds: scaleAggRounds}
+	cfg := glap.Config{LearnRounds: scaleLearnRounds, AggRounds: scaleAggRounds, Precision: opts2.prec}
 	opts := glap.PretrainOptions{Workers: workers}
 
 	build := func() (*dc.Cluster, error) {
@@ -226,6 +294,18 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set, opts2 scaleCellOp
 	trainIters := float64(pms) * float64(scaleLearnRounds) * float64(glap.DefaultConfig().LearnIterations)
 	row.PretrainAllocsPerIter = float64(msAfter.Mallocs-msBefore.Mallocs) / trainIters
 	row.PretrainBytesPerIter = float64(msAfter.TotalAlloc-msBefore.TotalAlloc) / trainIters
+
+	// Post-pretrain value-storage accounting: every node's converged tables,
+	// counted once per distinct backing (COW sharing means far fewer arrays
+	// than tables).
+	qts := make([]*qlearn.Table, 0, 2*len(res.Tables))
+	for _, nt := range res.Tables {
+		if nt != nil {
+			qts = append(qts, nt.Out, nt.In)
+		}
+	}
+	_, _, valueBytes, _ := qlearn.Footprint(qts)
+	row.ValueBytes = valueBytes
 
 	tables, err := glap.SharedTables(res)
 	if err != nil {
@@ -268,6 +348,11 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set, opts2 scaleCellOp
 	row.MetricsSec = time.Since(start).Seconds()
 	row.TotalSec = row.PretrainSec + row.ConsolidationSec + row.MetricsSec
 	row.SeriesHash = hashScaleSeries(series, energy)
+	// Micro-timings last, so their clone churn never pollutes the stage
+	// timings above (the heap watcher is still live, but the clones are two
+	// tables against a cluster-sized heap).
+	row.MergeNsPerPair = measureMergeNs(tables)
+	row.CosineNsPerSample = measureCosineNs(tables, opts2.prec)
 	row.HeapBytesPeak = hw.Stop()
 	return row, nil
 }
@@ -338,11 +423,12 @@ func runScale(seed uint64, outPath string, sizes []int) {
 			case row.SkipQuiescent:
 				mode = "skip   "
 			}
-			fmt.Printf("pms=%-6d %s workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs batches/round=%.1f skipped=%d heap_peak=%6.1fMB (%.0f B/PM) hash=%s\n",
-				pms, mode, row.Workers, row.PretrainSec, row.PretrainSpeedup,
+			fmt.Printf("pms=%-6d %s %s workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs batches/round=%.1f skipped=%d vals=%6.1fMB merge=%.0fns cosine=%.0fns heap_peak=%6.1fMB (%.0f B/PM) hash=%s\n",
+				pms, row.Precision, mode, row.Workers, row.PretrainSec, row.PretrainSpeedup,
 				row.PretrainAllocsPerIter, row.PretrainBytesPerIter,
 				row.ConsolidationSec, row.MetricsSec,
 				row.PairsBatchesPerRound, row.RoundsSkipped,
+				float64(row.ValueBytes)/(1<<20), row.MergeNsPerPair, row.CosineNsPerSample,
 				float64(row.HeapBytesPeak)/(1<<20), float64(row.HeapBytesPeak)/float64(pms),
 				row.SeriesHash[:12])
 		}
@@ -355,6 +441,7 @@ func runScale(seed uint64, outPath string, sizes []int) {
 		// draws observe round-start state — a distinct deterministic
 		// reference, byte-identical across worker counts).
 		var seqPretrain float64
+		var seqHeap uint64
 		var seqHash, shardedHash string
 		for _, wk := range workers {
 			row, err := runScaleCell(pms, wk, seed, w, scaleCellOpts{})
@@ -362,7 +449,7 @@ func runScale(seed uint64, outPath string, sizes []int) {
 				log.Fatal(err)
 			}
 			if wk == 1 {
-				seqPretrain, seqHash = row.PretrainSec, row.SeriesHash
+				seqPretrain, seqHash, seqHeap = row.PretrainSec, row.SeriesHash, row.HeapBytesPeak
 			}
 			if seqPretrain > 0 {
 				row.PretrainSpeedup = seqPretrain / row.PretrainSec
@@ -398,6 +485,34 @@ func runScale(seed uint64, outPath string, sizes []int) {
 			}
 			if seqPretrain > 0 {
 				row.PretrainSpeedup = seqPretrain / row.PretrainSec
+			}
+			emit(row)
+		}
+		// F32 value-tier rows: the sequential class re-run on the narrow
+		// tier. The tier keeps its own hash class — rounded Q-values may
+		// legitimately flip near-tie decisions against the F64 series — and
+		// that class must itself be byte-identical across worker counts.
+		// PretrainSpeedup is relative to the F32 workers=1 row, so the
+		// column keeps meaning "parallel speedup", not "tier speedup".
+		var f32Pretrain float64
+		var f32Hash string
+		for _, wk := range workers {
+			row, err := runScaleCell(pms, wk, seed, w, scaleCellOpts{prec: qlearn.F32})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if wk == 1 {
+				f32Pretrain, f32Hash = row.PretrainSec, row.SeriesHash
+				if seqHeap > 0 {
+					fmt.Printf("pms=%-6d f32 heap_bytes_peak vs f64 seq: %.1f%% reduction\n",
+						pms, 100*(1-float64(row.HeapBytesPeak)/float64(seqHeap)))
+				}
+			}
+			if f32Hash != "" && row.SeriesHash != f32Hash {
+				log.Fatalf("scale: f32 series hash diverged at pms=%d workers=%d", pms, wk)
+			}
+			if f32Pretrain > 0 {
+				row.PretrainSpeedup = f32Pretrain / row.PretrainSec
 			}
 			emit(row)
 		}

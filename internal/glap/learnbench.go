@@ -57,8 +57,8 @@ func MeasureLearnKernel(reference bool, baseVMs, iters int, seed uint64) LearnKe
 	cfg := DefaultConfig()
 	l := &LearnProtocol{Cfg: cfg}
 	st := &NodeTables{
-		Out: qlearn.New(cfg.Alpha, cfg.Gamma),
-		In:  qlearn.New(cfg.Alpha, cfg.Gamma),
+		Out: qlearn.NewP(cfg.Alpha, cfg.Gamma, cfg.Precision),
+		In:  qlearn.NewP(cfg.Alpha, cfg.Gamma, cfg.Precision),
 	}
 	ps := benchProfiles(baseVMs, seed)
 	rng := sim.NewRNG(seed + 1)

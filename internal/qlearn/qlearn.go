@@ -44,6 +44,49 @@ type Key struct {
 	A Action
 }
 
+// Precision selects the storage width of a table's Q-values. Reads always
+// widen to float64 and Equation 1's arithmetic always accumulates in
+// float64; the precision only decides how a value is rounded when it is
+// stored. F64 is the exact default every fingerprinted run uses; F32 halves
+// the value bytes of the dominant cluster-scale memory term (see Footprint)
+// for a bounded, quantified drift — GLAP's Q-values live in a quantised
+// level space whose pairwise-averaging merge collapses variance across PMs,
+// so they carry far fewer than 53 significant bits of information.
+type Precision uint8
+
+const (
+	// F64 stores Q-values as float64 (exact, the default).
+	F64 Precision = iota
+	// F32 stores Q-values as float32: float64 accumulation, one rounding
+	// point on store.
+	F32
+)
+
+// String returns the tier's short name ("f64"/"f32").
+func (p Precision) String() string {
+	if p == F32 {
+		return "f32"
+	}
+	return "f64"
+}
+
+// ValueBytes returns the storage width of one Q-value under this tier.
+func (p Precision) ValueBytes() int {
+	if p == F32 {
+		return 4
+	}
+	return 8
+}
+
+// round applies the tier's single rounding point: the value a store under
+// this precision actually retains.
+func (p Precision) round(v float64) float64 {
+	if p == F32 {
+		return float64(float32(v))
+	}
+	return v
+}
+
 // DenseSpan is the per-dimension size of the calibrated cell space: GLAP's
 // level pairs (9 levels × 2 resources = 81 packed states and actions).
 // Cells inside DenseSpan×DenseSpan live in the sorted backing array; cells
@@ -65,11 +108,17 @@ type Table struct {
 	Gamma float64
 
 	b *backing // nil until the first write
+
+	// prec is the value-storage tier (F64 default). It is fixed at
+	// construction: a table and its backing always agree, and merges
+	// require both endpoints on one tier.
+	prec Precision
 }
 
 // backing is the shared cell store. idx holds the written in-span cells as
 // s*DenseSpan+a in ascending order — (state, action) lexicographic — and
-// vals the matching Q-values. over holds the rare out-of-span cells.
+// vals (F64 tier) or vals32 (F32 tier) the matching Q-values. over holds
+// the rare out-of-span cells.
 type backing struct {
 	// ref counts the Tables referencing this backing. It is atomic because
 	// re-learning phases (InstallContinuous) run parallel training rounds on
@@ -77,9 +126,17 @@ type backing struct {
 	// their first writes race to detach.
 	ref atomic.Int32
 
-	idx  []uint16
-	vals []float64
-	over map[Key]float64
+	idx    []uint16
+	vals   []float64 // F64 tier value array (nil on F32 backings)
+	vals32 []float32 // F32 tier value array (nil on F64 backings)
+	over   map[Key]float64
+
+	// f32 marks the backing as storing its in-span values in vals32. The
+	// overflow map stays float64 on both tiers (out-of-span cells are
+	// hostile-checkpoint territory, never hot); its values are still rounded
+	// through the tier's rounding point on store so both stores of a table
+	// quantise identically.
+	f32 bool
 
 	// idxShared marks idx as an alias of an immutable canonical cell-set
 	// array (see canonicalIdx). Canonical arrays are built with cap==len,
@@ -138,20 +195,61 @@ func (b *backing) find(ci uint16) (int, bool) {
 	return lo, lo < len(b.idx) && b.idx[lo] == ci
 }
 
+// val returns the widened value at in-span position i.
+func (b *backing) val(i int) float64 {
+	if b.f32 {
+		return float64(b.vals32[i])
+	}
+	return b.vals[i]
+}
+
+// setVal writes the (already rounded) value at in-span position i.
+func (b *backing) setVal(i int, v float64) {
+	if b.f32 {
+		b.vals32[i] = float32(v)
+	} else {
+		b.vals[i] = v
+	}
+}
+
+// insertVal opens a slot at position i in the tier's value array (the idx
+// insertion happens in Set, which owns the canonical-array copy semantics).
+func (b *backing) insertVal(i int) {
+	if b.f32 {
+		b.vals32 = append(b.vals32, 0)
+		copy(b.vals32[i+1:], b.vals32[i:])
+	} else {
+		b.vals = append(b.vals, 0)
+		copy(b.vals[i+1:], b.vals[i:])
+	}
+}
+
+// value constrains the generic merge kernels to the two storage tiers. The
+// float64 instantiations compile to the exact pre-tier arithmetic (the
+// float64→float64 conversions are no-ops), which is what keeps the default
+// tier's golden fingerprints byte-identical.
+type value interface {
+	~float32 | ~float64
+}
+
 // backingPool recycles the building blocks of freed backings — the structs
 // and their two cell arrays — when a merge collapses a pair onto one store
 // or a copy-on-write detaches the last other holder. Aggregation gossip
 // frees up to two backings and takes at most one per exchange, so a small
 // pool keeps the merge loop and the posterior copy-on-write writes
 // allocation-free in steady state without retaining more than a handful of
-// arrays. The three parts are pooled separately because a backing whose
+// arrays. The parts are pooled separately because a backing whose
 // cell set was interned (idxShared) surrenders only its vals array; tying
 // the parts together would slowly drain the pool of usable idx capacity.
+// The two value tiers keep disjoint free lists (vals/vals32): a float64
+// array can never be handed to an F32 backing or vice versa, so mixed-tier
+// runs recycle within each tier without cross-contamination.
 var backingPool struct {
-	mu    sync.Mutex
-	nodes []*backing
-	idxs  [][]uint16
-	vals  [][]float64
+	mu     sync.Mutex
+	nodes  []*backing
+	idxs   [][]uint16
+	vals   [][]float64
+	vals32 [][]float32
 }
 
 // poolMax bounds each recycled free list.
@@ -280,18 +378,25 @@ func capRound(need int) int {
 	return (need + 127) &^ 63
 }
 
-// newBacking allocates a fresh unshared backing with room for need cells.
-func newBacking(need int) *backing {
+// newBacking allocates a fresh unshared backing with room for need cells on
+// the given tier.
+func newBacking(need int, f32 bool) *backing {
 	c := capRound(need)
-	b := &backing{idx: make([]uint16, 0, c), vals: make([]float64, 0, c)}
+	b := &backing{idx: make([]uint16, 0, c), f32: f32}
+	if f32 {
+		b.vals32 = make([]float32, 0, c)
+	} else {
+		b.vals = make([]float64, 0, c)
+	}
 	b.ref.Store(1)
 	b.invalidateRowMax()
 	return b
 }
 
-// acquireBacking returns an empty unshared backing with capacity for need
-// cells, assembled from pooled parts when they fit.
-func acquireBacking(need int) *backing {
+// acquireBacking returns an empty unshared backing on the given tier with
+// capacity for need cells, assembled from pooled parts when they fit. Only
+// the matching tier's value free list is consulted.
+func acquireBacking(need int, f32 bool) *backing {
 	backingPool.mu.Lock()
 	var b *backing
 	if n := len(backingPool.nodes); n > 0 {
@@ -300,7 +405,13 @@ func acquireBacking(need int) *backing {
 		backingPool.nodes = backingPool.nodes[:n-1]
 	}
 	idx := poolTake(&backingPool.idxs, need)
-	vals := poolTake(&backingPool.vals, need)
+	var vals []float64
+	var vals32 []float32
+	if f32 {
+		vals32 = poolTake(&backingPool.vals32, need)
+	} else {
+		vals = poolTake(&backingPool.vals, need)
+	}
 	backingPool.mu.Unlock()
 	if b == nil {
 		b = &backing{}
@@ -309,10 +420,13 @@ func acquireBacking(need int) *backing {
 	if idx == nil {
 		idx = make([]uint16, 0, c)
 	}
-	if vals == nil {
+	if f32 && vals32 == nil {
+		vals32 = make([]float32, 0, c)
+	}
+	if !f32 && vals == nil {
 		vals = make([]float64, 0, c)
 	}
-	b.idx, b.vals, b.over, b.idxShared = idx, vals, nil, false
+	b.idx, b.vals, b.vals32, b.over, b.idxShared, b.f32 = idx, vals, vals32, nil, false, f32
 	b.ref.Store(1)
 	b.invalidateRowMax()
 	return b
@@ -320,11 +434,12 @@ func acquireBacking(need int) *backing {
 
 // releaseBacking returns an unreferenced backing's parts to the pool. A
 // canonical (shared) idx array is dropped, not pooled: other backings may
-// still alias it, and pooled arrays get written through.
+// still alias it, and pooled arrays get written through. Value arrays go
+// back to their own tier's free list.
 func releaseBacking(b *backing) {
-	idx, vals := b.idx, b.vals
+	idx, vals, vals32 := b.idx, b.vals, b.vals32
 	shared := b.idxShared
-	b.idx, b.vals, b.over, b.idxShared = nil, nil, nil, false
+	b.idx, b.vals, b.vals32, b.over, b.idxShared, b.f32 = nil, nil, nil, nil, false, false
 	backingPool.mu.Lock()
 	if len(backingPool.nodes) < poolMax {
 		backingPool.nodes = append(backingPool.nodes, b)
@@ -334,6 +449,9 @@ func releaseBacking(b *backing) {
 	}
 	if vals != nil && len(backingPool.vals) < poolMax {
 		backingPool.vals = append(backingPool.vals, vals[:0])
+	}
+	if vals32 != nil && len(backingPool.vals32) < poolMax {
+		backingPool.vals32 = append(backingPool.vals32, vals32[:0])
 	}
 	backingPool.mu.Unlock()
 }
@@ -352,14 +470,18 @@ func deref(b *backing) {
 func (t *Table) own(extra int) *backing {
 	b := t.b
 	if b == nil {
-		b = newBacking(extra)
+		b = newBacking(extra, t.prec == F32)
 		t.b = b
 		return b
 	}
 	if b.ref.Load() > 1 {
-		nb := acquireBacking(len(b.idx) + extra)
+		nb := acquireBacking(len(b.idx)+extra, b.f32)
 		nb.idx = append(nb.idx, b.idx...)
-		nb.vals = append(nb.vals, b.vals...)
+		if b.f32 {
+			nb.vals32 = append(nb.vals32, b.vals32...)
+		} else {
+			nb.vals = append(nb.vals, b.vals...)
+		}
 		if len(b.over) > 0 {
 			nb.over = make(map[Key]float64, len(b.over))
 			for k, v := range b.over {
@@ -377,18 +499,29 @@ func (t *Table) own(extra int) *backing {
 	return b
 }
 
-// New returns an empty table with the given learning rate and discount. The
-// backing is allocated lazily on first write, so never-trained tables (PMs
-// that end the learning phase without Q-values) stay cheap.
+// New returns an empty F64 table with the given learning rate and discount.
+// The backing is allocated lazily on first write, so never-trained tables
+// (PMs that end the learning phase without Q-values) stay cheap.
 func New(alpha, gamma float64) *Table {
+	return NewP(alpha, gamma, F64)
+}
+
+// NewP is New with an explicit value-storage tier.
+func NewP(alpha, gamma float64, prec Precision) *Table {
 	if alpha <= 0 || alpha > 1 {
 		panic(fmt.Sprintf("qlearn: alpha %g out of (0,1]", alpha))
 	}
 	if gamma < 0 || gamma >= 1 {
 		panic(fmt.Sprintf("qlearn: gamma %g out of [0,1)", gamma))
 	}
-	return &Table{Alpha: alpha, Gamma: gamma}
+	if prec > F32 {
+		panic(fmt.Sprintf("qlearn: unknown precision %d", prec))
+	}
+	return &Table{Alpha: alpha, Gamma: gamma, prec: prec}
 }
+
+// Precision returns the table's value-storage tier.
+func (t *Table) Precision() Precision { return t.prec }
 
 // Len returns the number of (state, action) cells present.
 func (t *Table) Len() int {
@@ -412,7 +545,7 @@ func (t *Table) Get(s State, a Action) float64 {
 	}
 	if inSpan(s, a) {
 		if i, ok := b.find(uint16(int(s)*DenseSpan + int(a))); ok {
-			return b.vals[i]
+			return b.val(i)
 		}
 		return 0
 	}
@@ -433,10 +566,13 @@ func (t *Table) Has(s State, a Action) bool {
 	return ok
 }
 
-// Set writes the Q-value for (s, a). Writing to a shared backing detaches a
-// private copy first; in-span writes to an owned backing with spare
-// capacity — the training steady state — do not allocate.
+// Set writes the Q-value for (s, a), rounded through the table's precision
+// (the tier's single rounding point — all arithmetic upstream of a store is
+// float64). Writing to a shared backing detaches a private copy first;
+// in-span writes to an owned backing with spare capacity — the training
+// steady state — do not allocate.
 func (t *Table) Set(s State, a Action, v float64) {
+	v = t.prec.round(v)
 	if !inSpan(s, a) {
 		b := t.own(0)
 		if b.over == nil {
@@ -450,7 +586,7 @@ func (t *Table) Set(s State, a Action, v float64) {
 	i, ok := b.find(ci)
 	old := 0.0
 	if ok {
-		old = b.vals[i]
+		old = b.val(i)
 	} else {
 		// A canonical (shared) idx array has cap==len, so this append
 		// reallocates a private copy before the in-place shift below.
@@ -458,8 +594,7 @@ func (t *Table) Set(s State, a Action, v float64) {
 		copy(b.idx[i+1:], b.idx[i:])
 		b.idx[i] = ci
 		b.idxShared = false
-		b.vals = append(b.vals, 0)
-		copy(b.vals[i+1:], b.vals[i:])
+		b.insertVal(i)
 	}
 	if cache := b.rowMax; cache != nil {
 		if rm := cache[s]; rm == rm { // cache valid (not NaN)
@@ -474,7 +609,7 @@ func (t *Table) Set(s State, a Action, v float64) {
 			}
 		}
 	}
-	b.vals[i] = v
+	b.setVal(i, v)
 }
 
 // Reserve grows the table's backing to hold at least cells in-span cells
@@ -491,9 +626,16 @@ func (t *Table) Reserve(cells int) {
 	}
 	idx := make([]uint16, len(b.idx), cells)
 	copy(idx, b.idx)
-	vals := make([]float64, len(b.vals), cells)
-	copy(vals, b.vals)
-	b.idx, b.vals = idx, vals
+	if b.f32 {
+		vals32 := make([]float32, len(b.vals32), cells)
+		copy(vals32, b.vals32)
+		b.vals32 = vals32
+	} else {
+		vals := make([]float64, len(b.vals), cells)
+		copy(vals, b.vals)
+		b.vals = vals
+	}
+	b.idx = idx
 	b.idxShared = false
 }
 
@@ -504,7 +646,7 @@ func (b *backing) rowScanMax(s int) float64 {
 	hi := s*DenseSpan + DenseSpan
 	best, found := 0.0, false
 	for i := lo; i < len(b.idx) && int(b.idx[i]) < hi; i++ {
-		if v := b.vals[i]; !found || v > best {
+		if v := b.val(i); !found || v > best {
 			best, found = v, true
 		}
 	}
@@ -547,7 +689,7 @@ func (t *Table) MaxKnown(s State) float64 {
 		lo, _ := b.find(uint16(int(s) * DenseSpan))
 		hi := int(s)*DenseSpan + DenseSpan
 		for i := lo; i < len(b.idx) && int(b.idx[i]) < hi; i++ {
-			if v := b.vals[i]; !found || v > best {
+			if v := b.val(i); !found || v > best {
 				best, found = v, true
 			}
 		}
@@ -561,13 +703,16 @@ func (t *Table) MaxKnown(s State) float64 {
 }
 
 // Update applies Equation 1 for the transition (s, a) -> next with observed
-// reward r, and returns the new Q-value. In steady state (owned backing
-// with capacity for the touched cells) it performs no allocation.
+// reward r, and returns the new Q-value. The blend accumulates in float64
+// on both tiers (reads widen); only the final store rounds, so an F32
+// table's drift per update is one rounding, not three. In steady state
+// (owned backing with capacity for the touched cells) it performs no
+// allocation.
 func (t *Table) Update(s State, a Action, r float64, next State) float64 {
 	old := t.Get(s, a)
 	v := (1-t.Alpha)*old + t.Alpha*(r+t.Gamma*t.MaxKnown(next))
 	t.Set(s, a, v)
-	return v
+	return t.prec.round(v)
 }
 
 // Best returns the action among candidates with the highest Q-value in
@@ -649,7 +794,7 @@ func (t *Table) Flat() map[Key]float64 {
 		return out
 	}
 	for i, ci := range t.b.idx {
-		out[cellKey(ci)] = t.b.vals[i]
+		out[cellKey(ci)] = t.b.val(i)
 	}
 	for k, v := range t.b.over {
 		out[k] = v
@@ -675,7 +820,7 @@ func (t *Table) FillDense(dst []float64, numS, numA int) []float64 {
 	for i, ci := range t.b.idx {
 		s, a := int(ci)/DenseSpan, int(ci)%DenseSpan
 		if s < numS && a < numA {
-			dst[s*numA+a] = t.b.vals[i]
+			dst[s*numA+a] = t.b.val(i)
 		}
 	}
 	for k, v := range t.b.over {
@@ -686,14 +831,52 @@ func (t *Table) FillDense(dst []float64, numS, numA int) []float64 {
 	return dst
 }
 
+// FillDense32 is FillDense into a float32 buffer — the convergence
+// measurement path of the F32 tier, which reads the vals32 arrays directly
+// instead of materialising whole tables as float64. On an F32 table every
+// copied value is exact; on an F64 table values are rounded into the buffer
+// (measurement-only narrowing, never written back).
+func (t *Table) FillDense32(dst []float32, numS, numA int) []float32 {
+	if len(dst) < numS*numA {
+		panic(fmt.Sprintf("qlearn: FillDense32 dst len %d < %d×%d", len(dst), numS, numA))
+	}
+	for i := range dst[:numS*numA] {
+		dst[i] = 0
+	}
+	if t.b == nil {
+		return dst
+	}
+	b := t.b
+	for i, ci := range b.idx {
+		s, a := int(ci)/DenseSpan, int(ci)%DenseSpan
+		if s < numS && a < numA {
+			if b.f32 {
+				dst[s*numA+a] = b.vals32[i]
+			} else {
+				dst[s*numA+a] = float32(b.vals[i])
+			}
+		}
+	}
+	for k, v := range b.over {
+		if int(k.S) < numS && int(k.A) < numA {
+			dst[int(k.S)*numA+int(k.A)] = float32(v)
+		}
+	}
+	return dst
+}
+
 // Clone returns a deep copy of the table with its own unshared backing.
 func (t *Table) Clone() *Table {
-	c := &Table{Alpha: t.Alpha, Gamma: t.Gamma}
+	c := &Table{Alpha: t.Alpha, Gamma: t.Gamma, prec: t.prec}
 	if t.b != nil {
 		b := t.b
-		nb := newBacking(len(b.idx))
+		nb := newBacking(len(b.idx), b.f32)
 		nb.idx = append(nb.idx, b.idx...)
-		nb.vals = append(nb.vals, b.vals...)
+		if b.f32 {
+			nb.vals32 = append(nb.vals32, b.vals32...)
+		} else {
+			nb.vals = append(nb.vals, b.vals...)
+		}
 		if len(b.over) > 0 {
 			nb.over = make(map[Key]float64, len(b.over))
 			for k, v := range b.over {
@@ -710,12 +893,13 @@ func (t *Table) Clone() *Table {
 }
 
 // Footprint reports the physical memory behind a set of tables: the number
-// of distinct backings (a backing shared by several tables counts once) and
-// the bytes they reserve, including append slack and overflow maps. The
-// scale benchmark uses it to attribute Q-store bytes separately from the
-// rest of the heap; the cells figure is the logical total (shared backings
-// still counted once).
-func Footprint(tables []*Table) (backings int, bytes int64, cells int) {
+// of distinct backings (a backing shared by several tables counts once),
+// the bytes they reserve — including append slack and overflow maps — and,
+// separately, the bytes of the value arrays alone (valueBytes ⊆ bytes; 8
+// per reserved cell on the F64 tier, 4 on F32). The scale benchmark uses
+// the split to attribute the precision tier's saving directly; the cells
+// figure is the logical total (shared backings still counted once).
+func Footprint(tables []*Table) (backings int, bytes, valueBytes int64, cells int) {
 	seen := make(map[*backing]struct{}, len(tables))
 	for _, t := range tables {
 		b := t.b
@@ -734,12 +918,13 @@ func Footprint(tables []*Table) (backings int, bytes int64, cells int) {
 			// canonMaxSets such arrays exist process-wide).
 			bytes += int64(cap(b.idx)) * 2
 		}
-		bytes += int64(cap(b.vals))*8 + int64(len(b.over))*32
+		valueBytes += int64(cap(b.vals))*8 + int64(cap(b.vals32))*4
+		bytes += int64(len(b.over)) * 32
 		if b.rowMax != nil {
 			bytes += int64(len(b.rowMax)) * 8
 		}
 	}
-	return backings, bytes, cells
+	return backings, bytes + valueBytes, valueBytes, cells
 }
 
 // Unify merges two tables in place per Algorithm 2's UPDATE: cells present
@@ -760,9 +945,9 @@ func Merge(p, q *Table) bool {
 	return mergeTables(p, q)
 }
 
-// overUnion merges the overflow maps of pb and qb into dst (which may be
-// pb's or qb's own map when writing in place is safe).
-func overUnion(pb, qb *backing) map[Key]float64 {
+// overUnion merges the overflow maps of pb and qb into a fresh map,
+// averaging through prec's rounding point (a no-op on F64).
+func overUnion(pb, qb *backing, prec Precision) map[Key]float64 {
 	if len(pb.over) == 0 && len(qb.over) == 0 {
 		return nil
 	}
@@ -773,13 +958,75 @@ func overUnion(pb, qb *backing) map[Key]float64 {
 	for k, v := range qb.over {
 		if pv, ok := out[k]; ok {
 			if pv != v {
-				out[k] = (pv + v) / 2
+				out[k] = prec.round((pv + v) / 2)
 			}
 		} else {
 			out[k] = v
 		}
 	}
 	return out
+}
+
+// unionScan is mergeTables' comparison pass over one tier's value arrays:
+// union size of the two sorted cell sets plus value equality on the shared
+// cells. The float64 instantiation is the exact scan the pre-tier merge
+// ran.
+func unionScan[V value](pi, qi []uint16, pvals, qvals []V) (union int, valsEqual bool) {
+	i, j := 0, 0
+	valsEqual = true
+	for i < len(pi) && j < len(qi) {
+		switch {
+		case pi[i] == qi[j]:
+			if pvals[i] != qvals[j] {
+				valsEqual = false
+			}
+			i++
+			j++
+		case pi[i] < qi[j]:
+			i++
+		default:
+			j++
+		}
+		union++
+	}
+	union += len(pi) - i + len(qi) - j
+	return union, valsEqual
+}
+
+// averageInto folds o's values into d's for equal cell sets: differing cells
+// become the float64 midpoint rounded once into the tier (for V=float64 the
+// conversions are no-ops and this is the exact pre-tier arithmetic).
+func averageInto[V value](dvals, ovals []V) {
+	for i := range dvals {
+		if dv, ov := dvals[i], ovals[i]; dv != ov {
+			dvals[i] = V((float64(dv) + float64(ov)) / 2)
+		}
+	}
+}
+
+// unionBuild writes the merged union of (pi, pvals) and (qi, qvals) into
+// the pre-sized didx/dvals, averaging shared cells in float64 with one
+// rounding point on store.
+func unionBuild[V value](didx []uint16, dvals []V, pi, qi []uint16, pvals, qvals []V) {
+	i, j := 0, 0
+	for k := range didx {
+		switch {
+		case i < len(pi) && j < len(qi) && pi[i] == qi[j]:
+			v := pvals[i]
+			if qv := qvals[j]; v != qv {
+				v = V((float64(v) + float64(qv)) / 2)
+			}
+			didx[k], dvals[k] = pi[i], v
+			i++
+			j++
+		case j >= len(qi) || (i < len(pi) && pi[i] < qi[j]):
+			didx[k], dvals[k] = pi[i], pvals[i]
+			i++
+		default:
+			didx[k], dvals[k] = qi[j], qvals[j]
+			j++
+		}
+	}
 }
 
 // mergeTables implements Unify/Merge. It returns whether any cell of either
@@ -797,6 +1044,12 @@ func overUnion(pb, qb *backing) map[Key]float64 {
 //   - differing cell sets (or both backings shared): the union is built into
 //     a recycled or fresh backing that both tables adopt.
 func mergeTables(p, q *Table) bool {
+	if p.prec != q.prec {
+		// A cross-tier merge would have to pick a rounding regime for the
+		// surviving shared backing; GLAP clusters run one tier, so this is a
+		// wiring bug, not a state to average through.
+		panic(fmt.Sprintf("qlearn: merging %s table with %s table", p.prec, q.prec))
+	}
 	pb, qb := p.b, q.b
 	if pb == qb {
 		return false // same backing (or both nil): already equal
@@ -814,24 +1067,13 @@ func mergeTables(p, q *Table) bool {
 
 	// One comparison scan: union size, set equality, value equality.
 	pi, qi := pb.idx, qb.idx
-	union, i, j := 0, 0, 0
-	valsEqual := true
-	for i < len(pi) && j < len(qi) {
-		switch {
-		case pi[i] == qi[j]:
-			if pb.vals[i] != qb.vals[j] {
-				valsEqual = false
-			}
-			i++
-			j++
-		case pi[i] < qi[j]:
-			i++
-		default:
-			j++
-		}
-		union++
+	var union int
+	var valsEqual bool
+	if pb.f32 {
+		union, valsEqual = unionScan(pi, qi, pb.vals32, qb.vals32)
+	} else {
+		union, valsEqual = unionScan(pi, qi, pb.vals, qb.vals)
 	}
-	union += len(pi) - i + len(qi) - j
 	setsEqual := union == len(pi) && union == len(qi)
 
 	overSetsEqual, overEqual := true, true
@@ -875,14 +1117,14 @@ func mergeTables(p, q *Table) bool {
 			if !pOwned {
 				d, o, other = qb, pb, p
 			}
-			for i := range d.vals {
-				if dv, ov := d.vals[i], o.vals[i]; dv != ov {
-					d.vals[i] = (dv + ov) / 2
-				}
+			if d.f32 {
+				averageInto(d.vals32, o.vals32)
+			} else {
+				averageInto(d.vals, o.vals)
 			}
 			for k, v := range d.over {
 				if ov := o.over[k]; ov != v {
-					d.over[k] = (v + ov) / 2
+					d.over[k] = p.prec.round((v + ov) / 2)
 				}
 			}
 			d.invalidateRowMax()
@@ -895,29 +1137,16 @@ func mergeTables(p, q *Table) bool {
 
 	// Differing cell sets or both backings shared: build the union into a
 	// destination both tables adopt.
-	d := acquireBacking(union)
+	d := acquireBacking(union, pb.f32)
 	d.idx = d.idx[:union]
-	d.vals = d.vals[:union]
-	i, j = 0, 0
-	for k := 0; k < union; k++ {
-		switch {
-		case i < len(pi) && j < len(qi) && pi[i] == qi[j]:
-			v := pb.vals[i]
-			if qv := qb.vals[j]; v != qv {
-				v = (v + qv) / 2
-			}
-			d.idx[k], d.vals[k] = pi[i], v
-			i++
-			j++
-		case j >= len(qi) || (i < len(pi) && pi[i] < qi[j]):
-			d.idx[k], d.vals[k] = pi[i], pb.vals[i]
-			i++
-		default:
-			d.idx[k], d.vals[k] = qi[j], qb.vals[j]
-			j++
-		}
+	if d.f32 {
+		d.vals32 = d.vals32[:union]
+		unionBuild(d.idx, d.vals32, pi, qi, pb.vals32, qb.vals32)
+	} else {
+		d.vals = d.vals[:union]
+		unionBuild(d.idx, d.vals, pi, qi, pb.vals, qb.vals)
 	}
-	d.over = overUnion(pb, qb)
+	d.over = overUnion(pb, qb, p.prec)
 	// Converged unions rebuild the same saturated cell set on every exchange;
 	// alias it to one interned copy and recycle the freshly built array
 	// (2 bytes/cell reclaimed per backing, cluster-wide).
@@ -962,8 +1191,10 @@ func Equal(p, q *Table) bool {
 			return false
 		}
 	}
-	for i := range pb.vals {
-		if pb.vals[i] != qb.vals[i] {
+	// Values compare widened, so an F64 table and an F32 table holding the
+	// same representable values are equal.
+	for i := range pb.idx {
+		if pb.val(i) != qb.val(i) {
 			return false
 		}
 	}

@@ -1,0 +1,129 @@
+package glapsim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"os"
+	"testing"
+
+	"github.com/glap-sim/glap/internal/qlearn"
+)
+
+// f32GoldenExperiment is the golden run on the F32 value tier: same cluster,
+// seed, and rounds, with only the Q-value storage narrowed.
+func f32GoldenExperiment() Experiment {
+	x := goldenExperiment()
+	x.GLAP.Precision = qlearn.F32
+	return x
+}
+
+// goldenSeriesHashF32 pins the F32 tier's own golden fingerprint. It is
+// deliberately a separate pin from goldenSeriesHash even though the two are
+// currently equal: at golden scale the float32 rounding never flips a Best
+// near-tie, so the narrow tier reproduces the F64 decision series exactly
+// (TestF32SeriesBoundedDivergence asserts the tier really is active). The
+// pins may legitimately diverge at other scales or under future calibration
+// changes — rounded Q-values can flip near-tie consolidation decisions —
+// and keeping them separate means such a change re-pins the F32 series
+// without ever touching the F64 contract. Regenerate with
+// GLAP_GOLDEN_UPDATE=1 go test -run TestGoldenDeterminismF32 -v .
+const goldenSeriesHashF32 = "97f442cd66becde70529a5a796fcb32866e5dabc586f4a54b83190e8a039dec8"
+
+// TestGoldenDeterminismF32 pins the F32 tier seed-for-seed, the narrow
+// counterpart of TestGoldenDeterminism.
+func TestGoldenDeterminismF32(t *testing.T) {
+	res, err := Run(f32GoldenExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := serializeSeries(res)
+	sum := sha256.Sum256([]byte(dump))
+	got := hex.EncodeToString(sum[:])
+	if os.Getenv("GLAP_GOLDEN_UPDATE") != "" {
+		t.Logf("F32 golden series dump:\n%s", dump)
+		t.Logf("goldenSeriesHashF32 = %q", got)
+		return
+	}
+	if got != goldenSeriesHashF32 {
+		t.Fatalf("F32 golden Series fingerprint changed:\n got %s\nwant %s\nserialised series:\n%s",
+			got, goldenSeriesHashF32, dump)
+	}
+}
+
+// TestWorkerCountDifferentialF32 extends the headline worker invariance to
+// the narrow tier: the F32 Series fingerprint must be byte-identical between
+// Workers=1 and Workers=8. CI runs it under -race with the F64 variant.
+func TestWorkerCountDifferentialF32(t *testing.T) {
+	run := func(workers int) string {
+		x := f32GoldenExperiment()
+		x.Workers = workers
+		res, err := Run(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256([]byte(serializeSeries(res)))
+		return hex.EncodeToString(sum[:])
+	}
+	seq, par := run(1), run(8)
+	if seq != par {
+		t.Fatalf("F32 Series fingerprint differs between Workers=1 (%s) and Workers=8 (%s)", seq, par)
+	}
+}
+
+// TestF32SeriesBoundedDivergence quantifies what the tier trade actually
+// costs at the simulation level: the F32 run's SLA violation, migration
+// count, and migration energy must land within a narrow band of the F64
+// run's. The two series are not expected to be identical — rounded Q-values
+// flip near-tie Best decisions, and one flipped migration cascades — but the
+// aggregate metrics the paper reports must not move materially. The bounds
+// here are the measured divergence with ~3× headroom; EXPERIMENTS.md records
+// the measured values.
+func TestF32SeriesBoundedDivergence(t *testing.T) {
+	r64, err := Run(goldenExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r32, err := Run(f32GoldenExperiment())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Guard against the precision knob silently not reaching the stack —
+	// identical series would then be a vacuous pass.
+	if r32.Pretrain == nil || len(r32.Pretrain.Tables) == 0 {
+		t.Fatal("F32 run has no pretrain result")
+	}
+	for _, tb := range r32.Pretrain.Tables {
+		if tb.Out.Precision() != qlearn.F32 || tb.In.Precision() != qlearn.F32 {
+			t.Fatal("F32 experiment ran on F64 tables: precision not plumbed through Run")
+		}
+	}
+
+	if d := math.Abs(r64.Series.SLAV - r32.Series.SLAV); d > 0.01 {
+		t.Fatalf("SLAV diverged by %g (F64 %g, F32 %g)", d, r64.Series.SLAV, r32.Series.SLAV)
+	}
+	var migr64, migr32 int64
+	var energy64, energy32 float64
+	for _, s := range r64.Series.Samples {
+		migr64 += s.Migrations
+		energy64 += s.MigrationEnergyJ
+	}
+	for _, s := range r32.Series.Samples {
+		migr32 += s.Migrations
+		energy32 += s.MigrationEnergyJ
+	}
+	if migr64 == 0 || migr32 == 0 {
+		t.Fatal("golden runs produced no migrations; divergence bound is vacuous")
+	}
+	relMigr := math.Abs(float64(migr64-migr32)) / float64(migr64)
+	if relMigr > 0.15 {
+		t.Fatalf("migration count diverged by %.1f%% (F64 %d, F32 %d)", 100*relMigr, migr64, migr32)
+	}
+	relEnergy := math.Abs(energy64-energy32) / energy64
+	if relEnergy > 0.15 {
+		t.Fatalf("migration energy diverged by %.1f%% (F64 %g, F32 %g)", 100*relEnergy, energy64, energy32)
+	}
+	t.Logf("F64↔F32 divergence: |ΔSLAV|=%g, migrations %d→%d (%.2f%%), energy rel %.2f%%",
+		math.Abs(r64.Series.SLAV-r32.Series.SLAV), migr64, migr32, 100*relMigr, 100*relEnergy)
+}
