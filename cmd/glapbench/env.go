@@ -2,21 +2,52 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 )
 
 // envMeta records the host execution environment in every benchmark report.
 // A committed JSON file is only meaningful next to the machine shape it was
 // taken on: a speedup or wall-time column from a GOMAXPROCS=1 host measures
 // scheduling overhead, not parallelism, and embedding the shape in the
-// report makes that impossible to overlook after the fact.
+// report makes that impossible to overlook after the fact. GOGC is recorded
+// per row because the scale grid pins a tighter collector only on its
+// largest sizes (see runScale): two heap_bytes_peak figures are only
+// comparable under the same GC discipline.
 type envMeta struct {
 	GOMAXPROCS int `json:"gomaxprocs"`
 	NumCPU     int `json:"num_cpu"`
+	GOGC       int `json:"gogc"`
+}
+
+// effectiveGOGC mirrors the GC percentage currently in force. The runtime
+// offers no read-only getter (debug.SetGCPercent is a swap), so every
+// adjustment goes through setGCPercent to keep the mirror truthful.
+var effectiveGOGC = initialGOGC()
+
+func initialGOGC() int {
+	if s := os.Getenv("GOGC"); s != "" {
+		if s == "off" {
+			return -1
+		}
+		if v, err := strconv.Atoi(s); err == nil {
+			return v
+		}
+	}
+	return 100
+}
+
+// setGCPercent applies pct (−1 disables the collector, matching
+// debug.SetGCPercent) and records it for env metadata.
+func setGCPercent(pct int) {
+	debug.SetGCPercent(pct)
+	effectiveGOGC = pct
 }
 
 func currentEnv() envMeta {
-	return envMeta{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU()}
+	return envMeta{GOMAXPROCS: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), GOGC: effectiveGOGC}
 }
 
 // warnIfSerial prints the shared single-thread warning at generation time,

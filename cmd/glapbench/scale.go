@@ -33,6 +33,10 @@ const (
 	scaleLearnRounds = 40
 	scaleAggRounds   = 20
 	scaleConsRounds  = 40
+
+	// scaleTightGCMinPMs is the smallest cluster size that runs under the
+	// pinned GOGC=10 discipline (see runScale).
+	scaleTightGCMinPMs = 20000
 )
 
 // scaleSizes spans three orders of magnitude: the paper's evaluation range
@@ -81,6 +85,26 @@ type scaleRow struct {
 	ConsolidationSec float64 `json:"consolidation_sec"`
 	MetricsSec       float64 `json:"metrics_sec"`
 	TotalSec         float64 `json:"total_sec"`
+
+	// PretrainLearnSec and PretrainAggSec attribute PretrainSec to its two
+	// phases — Algorithm 1's training rounds and Algorithm 2's aggregation
+	// rounds (plus result collection) — so a pretrain regression names the
+	// loop it lives in without a profiler.
+	PretrainLearnSec float64 `json:"pretrain_learn_sec"`
+	PretrainAggSec   float64 `json:"pretrain_agg_sec"`
+
+	// MergeFastHits counts the pretrain stage's table merges resolved by a
+	// qlearn fast path (pair already sharing a backing, aligned canonical
+	// cell sets, equal-content collapse, or set-equal adopt);
+	// MergeAlignedHits is the aligned subset — the canonical-interning
+	// steady state the pointer-equality path targets (0 on rows whose
+	// tables stay under the interning threshold). MergeUnions counts the
+	// residual general unions and MergeTotal all merges, so
+	// MergeFastHits/MergeTotal is the fast-path rate.
+	MergeFastHits    uint64 `json:"merge_fast_hits"`
+	MergeAlignedHits uint64 `json:"merge_aligned_hits"`
+	MergeUnions      uint64 `json:"merge_unions"`
+	MergeTotal       uint64 `json:"merge_total"`
 
 	// PretrainAllocsPerIter and PretrainBytesPerIter are the heap
 	// allocations and bytes of the whole pretrain stage divided by the
@@ -282,6 +306,7 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set, opts2 scaleCellOp
 	}
 	var msBefore, msAfter runtime.MemStats
 	runtime.ReadMemStats(&msBefore)
+	qlearn.ResetMergeStats()
 	start := time.Now()
 	res, err := glap.Pretrain(cfg, pre, seed+2, opts)
 	if err != nil {
@@ -289,6 +314,10 @@ func runScaleCell(pms, workers int, seed uint64, w *trace.Set, opts2 scaleCellOp
 		return row, err
 	}
 	row.PretrainSec = time.Since(start).Seconds()
+	row.PretrainLearnSec, row.PretrainAggSec = res.LearnSec, res.AggSec
+	ms := qlearn.ReadMergeStats()
+	row.MergeFastHits, row.MergeAlignedHits = ms.FastHits(), ms.AlignedIdx
+	row.MergeUnions, row.MergeTotal = ms.Unions, ms.Merges
 	runtime.ReadMemStats(&msAfter)
 	hw.Sample()
 	trainIters := float64(pms) * float64(scaleLearnRounds) * float64(glap.DefaultConfig().LearnIterations)
@@ -378,22 +407,23 @@ func runScale(seed uint64, outPath string, sizes []int) {
 	if len(sizes) == 0 {
 		sizes = scaleSizes
 	}
-	// Tighter GC discipline for the duration of the grid: with the default
-	// GOGC=100 the collector lets the heap double over live state before
-	// collecting, so heap_bytes_peak would report mostly floating garbage
-	// from the merge churn of the aggregation phase rather than the layout's
-	// real footprint. GOGC=10 keeps the watermark within ~10% of live
-	// state; the extra collections are cheap where it matters, because the
-	// learning phase allocates almost nothing (zero-alloc kernel) and GC
-	// only triggers during the allocation-heavy build and aggregation
-	// stages. The 8 GiB soft limit is an anti-OOM backstop only — the
-	// 100k-PM row's live state (~4.5 GiB of mid-convergence Q-cells, see
-	// EXPERIMENTS.md) must stay clear of it, or the pacer would stall the
-	// run in back-to-back collections.
-	prevGC := debug.SetGCPercent(10)
+	// GC discipline is size-conditional. On the ≥20k-PM rows GOGC=10 is an
+	// anti-OOM and heap-watermark measure: with the default GOGC=100 the
+	// collector lets the heap double over live state before collecting, so
+	// heap_bytes_peak would report mostly floating garbage from the merge
+	// churn of the aggregation phase rather than the layout's real footprint,
+	// and the 100k-PM row (~4.5 GiB live, see EXPERIMENTS.md) would flirt
+	// with the memory limit. On small rows the same pinning costs ~10% CPU —
+	// doubling a few-hundred-MB heap is harmless — so they run under the
+	// process default. The effective GOGC is recorded per row in the env
+	// metadata: two heap_bytes_peak figures are only comparable under the
+	// same discipline. The 8 GiB soft limit is an anti-OOM backstop only —
+	// the largest row's live state must stay clear of it, or the pacer would
+	// stall the run in back-to-back collections.
+	defaultGC := effectiveGOGC
 	prevLimit := debug.SetMemoryLimit(8 << 30)
-	defer debug.SetGCPercent(prevGC)
 	defer debug.SetMemoryLimit(prevLimit)
+	defer setGCPercent(defaultGC)
 	rep := scaleReport{
 		envMeta:     currentEnv(),
 		Ratio:       scaleRatio,
@@ -407,6 +437,11 @@ func runScale(seed uint64, outPath string, sizes []int) {
 		sizes, workers, rep.GOMAXPROCS)
 	rep.warnIfSerial()
 	for _, pms := range sizes {
+		if pms >= scaleTightGCMinPMs {
+			setGCPercent(10)
+		} else {
+			setGCPercent(defaultGC)
+		}
 		// The streaming source holds per-VM generator state (a few dozen
 		// bytes) instead of materialised series; at 200k VMs × 100 rounds the
 		// retired eager path alone held ~1.3 GB of float64 samples.
@@ -423,12 +458,18 @@ func runScale(seed uint64, outPath string, sizes []int) {
 			case row.SkipQuiescent:
 				mode = "skip   "
 			}
-			fmt.Printf("pms=%-6d %s %s workers=%-2d pretrain=%7.2fs (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs batches/round=%.1f skipped=%d vals=%6.1fMB merge=%.0fns cosine=%.0fns heap_peak=%6.1fMB (%.0f B/PM) hash=%s\n",
-				pms, row.Precision, mode, row.Workers, row.PretrainSec, row.PretrainSpeedup,
+			fastRate := 0.0
+			if row.MergeTotal > 0 {
+				fastRate = 100 * float64(row.MergeFastHits) / float64(row.MergeTotal)
+			}
+			fmt.Printf("pms=%-6d %s %s workers=%-2d pretrain=%7.2fs (learn=%7.2fs agg=%6.2fs) (%.2fx, %.2f allocs/iter, %.0f B/iter) consolidation=%6.2fs metrics=%6.3fs batches/round=%.1f skipped=%d vals=%6.1fMB merge=%.0fns fast=%.0f%% cosine=%.0fns gogc=%d heap_peak=%6.1fMB (%.0f B/PM) hash=%s\n",
+				pms, row.Precision, mode, row.Workers, row.PretrainSec,
+				row.PretrainLearnSec, row.PretrainAggSec, row.PretrainSpeedup,
 				row.PretrainAllocsPerIter, row.PretrainBytesPerIter,
 				row.ConsolidationSec, row.MetricsSec,
 				row.PairsBatchesPerRound, row.RoundsSkipped,
-				float64(row.ValueBytes)/(1<<20), row.MergeNsPerPair, row.CosineNsPerSample,
+				float64(row.ValueBytes)/(1<<20), row.MergeNsPerPair, fastRate,
+				row.CosineNsPerSample, row.GOGC,
 				float64(row.HeapBytesPeak)/(1<<20), float64(row.HeapBytesPeak)/float64(pms),
 				row.SeriesHash[:12])
 		}

@@ -18,6 +18,37 @@ func BenchmarkShuffleRound(b *testing.B) {
 	}
 }
 
+// BenchmarkMergeFold isolates the view-merge fold on a full view receiving a
+// ShuffleLen-deep exchange of entirely new peers — the worst case for the
+// eviction scan, where every received entry walks the sent-away membership
+// check. The monotone cursor keeps the whole fold O(view + shuffle·sent)
+// instead of O(shuffle · view · sent).
+func BenchmarkMergeFold(b *testing.B) {
+	e := sim.NewEngine(1000, 1)
+	c := New(20, 8)
+	e.Register(c)
+	e.RunRounds(1)
+	master := make([]Entry, 20)
+	for i := range master {
+		master[i] = Entry{Peer: i + 1, Age: i}
+	}
+	sent := make([]Entry, 8)
+	for i := range sent {
+		sent[i] = Entry{Peer: i + 1, Age: i} // first 8 view entries sent away
+	}
+	received := make([]Entry, 8)
+	for i := range received {
+		received[i] = Entry{Peer: 100 + i} // all new to the view, age 0
+	}
+	v := &View{entries: make([]Entry, 20)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(v.entries, master)
+		c.merge(e, v, 0, received, sent)
+	}
+}
+
 func BenchmarkSelectPeer(b *testing.B) {
 	e := sim.NewEngine(200, 1)
 	e.Register(New(20, 8))

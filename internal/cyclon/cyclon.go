@@ -220,6 +220,18 @@ func (c *Protocol) merge(e *sim.Engine, v *View, self int, received, sent []Entr
 	for _, s := range sent {
 		sentPeers = append(sentPeers, s.Peer)
 	}
+	// evictFrom is a monotone cursor over the view for the sent-away scans:
+	// slots below it have been checked and can never re-acquire a sent-away
+	// peer within this merge, so the per-received-entry scan restarts where
+	// the last one stopped instead of from slot 0 (the scan was 2.4% of a
+	// whole-pretrain profile). Soundness rests on an invariant of the loop:
+	// sentPeers ⊆ view at all times — a received entry never carries a
+	// sent-away peer that is absent from the view (a sent-away eviction
+	// removes the peer from sentPeers, and an oldest-entry eviction only runs
+	// when no sent-away peer remains anywhere in the view) — so every view
+	// write below the cursor installs a peer that is not in sentPeers, and a
+	// scan from the cursor finds the same first hit a scan from 0 would.
+	evictFrom := 0
 	for _, r := range received {
 		if r.Peer == self || !e.Node(r.Peer).Up() {
 			continue
@@ -235,10 +247,16 @@ func (c *Protocol) merge(e *sim.Engine, v *View, self int, received, sent []Entr
 			continue
 		}
 		// View full: first evict an entry we sent away, else the oldest.
-		if ei := firstIn(v.entries, sentPeers); ei >= 0 {
-			sentPeers = removePeer(sentPeers, v.entries[ei].Peer)
-			v.entries[ei] = r
-			continue
+		if len(sentPeers) > 0 {
+			if ei := firstInFrom(v.entries, sentPeers, evictFrom); ei >= 0 {
+				sentPeers = removePeer(sentPeers, v.entries[ei].Peer)
+				v.entries[ei] = r
+				evictFrom = ei + 1
+				continue
+			}
+			// No sent-away peer anywhere in [evictFrom:), and none below the
+			// cursor by the invariant: the list is dead for this merge.
+			sentPeers = sentPeers[:0]
 		}
 		if oi := v.oldestIndex(); oi >= 0 && v.entries[oi].Age > r.Age {
 			v.entries[oi] = r
@@ -256,10 +274,13 @@ func indexOf(entries []Entry, peer int) int {
 	return -1
 }
 
-func firstIn(entries []Entry, sent []int) int {
-	for i, e := range entries {
+// firstInFrom returns the index of the first entry at or after from whose
+// peer is in sent, or -1. merge's cursor discipline guarantees no sent peer
+// sits below from, so the result equals a scan of the whole slice.
+func firstInFrom(entries []Entry, sent []int, from int) int {
+	for i := from; i < len(entries); i++ {
 		for _, p := range sent {
-			if e.Peer == p {
+			if entries[i].Peer == p {
 				return i
 			}
 		}

@@ -2,6 +2,7 @@ package glap
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/glap-sim/glap/internal/cyclon"
 	"github.com/glap-sim/glap/internal/dc"
@@ -24,6 +25,11 @@ type PretrainResult struct {
 	ConvergenceRound []int
 	// LearnRounds and AggRounds echo the phase split used.
 	LearnRounds, AggRounds int
+	// LearnSec and AggSec attribute the run's wall time to the two phases:
+	// rounds [0, LearnRounds) (Algorithm 1) and the rest (Algorithm 2 plus
+	// result collection). The split lets the scale benchmark report which
+	// phase a regression lives in without a profiler.
+	LearnSec, AggSec float64
 }
 
 // FinalSimilarity returns the last measured convergence value (1 when
@@ -102,12 +108,26 @@ func Pretrain(cfg Config, cl *dc.Cluster, seed uint64, opts PretrainOptions) (*P
 		})
 	}
 
+	// Phase attribution: an observer timestamps the learning→aggregation
+	// boundary. Registering a plain observer is safe here — the pretrain
+	// engine never enables quiescence skipping, so every round is executed
+	// and observed.
+	start := time.Now()
+	boundary := start
+	e.Observe(func(e *sim.Engine, round int) {
+		if round == cfg.LearnRounds-1 {
+			boundary = time.Now()
+		}
+	})
+
 	e.RunRounds(cfg.LearnRounds + cfg.AggRounds)
 
 	res.Tables = make([]*NodeTables, e.N())
 	for i, n := range e.Nodes() {
 		res.Tables[i] = TablesOf(e, n)
 	}
+	res.LearnSec = boundary.Sub(start).Seconds()
+	res.AggSec = time.Since(boundary).Seconds()
 	return res, nil
 }
 

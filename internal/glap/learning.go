@@ -152,6 +152,12 @@ type learnScratch struct {
 	base []kernelProfile
 	// total is the multiset size after duplication (≥ len(base)).
 	total int
+	// totAvg and totCur are the duplicated multiset's summed weighted demand
+	// vectors, precomputed once per Round (they are constant across training
+	// iterations and partition-retry attempts). trainOnce folds only the
+	// sender side of each partition and derives the recipient sums as
+	// totals − sender, halving the FP work of the partition loop.
+	totAvg, totCur dc.Vec
 	// sender is trainOnce's sender-partition buffer: multiset indices, kept
 	// across iterations and rounds so steady-state training allocates
 	// nothing.
@@ -259,6 +265,7 @@ func (l *LearnProtocol) Round(e *sim.Engine, n *sim.Node, round int) {
 	// states are visited during training. Only the multiset size is
 	// computed; elements are addressed as base[k mod len(base)].
 	sc.total = coverCount(sc.base, pm.Spec.Capacity[dc.CPU], l.Cfg.DuplicationTargetUtil)
+	sc.totAvg, sc.totCur = multisetTotals(sc.base, sc.total)
 
 	for it := 0; it < l.Cfg.LearnIterations; it++ {
 		l.trainOnce(rng, st, sc, pm.Spec.Capacity)
@@ -290,6 +297,32 @@ func coverCount(base []kernelProfile, capCPU, target float64) int {
 	return n
 }
 
+// multisetTotals returns the duplicated multiset's summed weighted average-
+// and current-demand vectors. Multiset element k is base[k mod len(base)], so
+// the totals are (total / len(base)) full cycles of the base sums plus the
+// prefix of the first total mod len(base) elements — one pass over base
+// regardless of the duplication factor (up to 64×).
+func multisetTotals(base []kernelProfile, total int) (avg, cur dc.Vec) {
+	nb := len(base)
+	rem := total % nb
+	var bAvg, bCur, pAvg, pCur dc.Vec
+	for i := range base {
+		if i == rem {
+			pAvg, pCur = bAvg, bCur
+		}
+		for r := 0; r < dc.NumResources; r++ {
+			bAvg[r] += base[i].wAvg[r]
+			bCur[r] += base[i].wCur[r]
+		}
+	}
+	full := float64(total / nb)
+	for r := 0; r < dc.NumResources; r++ {
+		avg[r] = full*bAvg[r] + pAvg[r]
+		cur[r] = full*bCur[r] + pCur[r]
+	}
+	return avg, cur
+}
+
 // trainOnce performs one simulated migration: partition the profile multiset
 // into a virtual sender and a virtual recipient, move one random sender VM,
 // and apply updateOUT / updateIN per Equation 1. Pre-action states use
@@ -297,14 +330,18 @@ func coverCount(base []kernelProfile, capCPU, target float64) int {
 //
 // Partition and aggregation are fused into a single pass: every multiset
 // element draws its Bernoulli coin (the same sequence the reference kernel
-// draws) and immediately folds its weighted average- and current-demand
-// vectors into the sender or recipient accumulators, replacing the
-// reference kernel's partition plus four O(P) subset scans. Post-action
-// states derive incrementally: sAfter is the sender's current-demand sum
-// minus the evicted VM, tAfter the recipient's sum plus it. Only the sender
-// indices are materialised (the eviction pick needs them); the recipient
-// partition exists solely as its sums.
-func (l *LearnProtocol) trainOnce(rng *sim.RNG, st *NodeTables, sc *learnScratch, cap dc.Vec) {
+// draws) and, when it lands sender-side, immediately folds its weighted
+// average- and current-demand vectors into the sender accumulators. The
+// recipient partition is never folded at all: its sums are derived as the
+// precomputed multiset totals minus the sender sums, halving the FP work of
+// the partition loop (the derived sums differ from a direct fold only at ulp
+// scale, which level quantisation absorbs — see DESIGN.md §7). The Bernoulli
+// threshold is converted once per trainOnce and the k-loop runs the one-shift
+// one-compare form. Post-action states derive incrementally: sAfter is the
+// sender's current-demand sum minus the evicted VM, tAfter the recipient's
+// sum plus it. Only the sender indices are materialised (the eviction pick
+// needs them); the recipient partition exists solely as its derived sums.
+func (l *LearnProtocol) trainOnce(rng *sim.RNG, st *NodeTables, sc *learnScratch, pmCap dc.Vec) {
 	base := sc.base
 	nb := len(base)
 	// Random partition with a freshly drawn split bias per iteration so
@@ -312,38 +349,50 @@ func (l *LearnProtocol) trainOnce(rng *sim.RNG, st *NodeTables, sc *learnScratch
 	// nearly empty to beyond capacity — and the high states that matter
 	// for rejection decisions are actually visited during training.
 	pSender := 0.15 + 0.7*rng.Float64()
-	sender := sc.sender[:0]
-	var sAvg, sCur, tAvg, tCur dc.Vec
+	thresh := sim.Thresh53(pSender)
+	sender := sc.sender[:cap(sc.sender)]
+	if len(sender) < sc.total {
+		// Grow once to the high-water multiset size so the k-loop writes by
+		// index instead of appending (no per-element capacity check).
+		sender = make([]int32, sc.total)
+	}
+	sc.sender = sender // keep the grown buffer for the next iteration
+	cnt := 0
+	var sAvg, sCur dc.Vec
 	for attempt := 0; attempt < 8; attempt++ {
-		sender = sender[:0]
-		sAvg, sCur, tAvg, tCur = dc.Vec{}, dc.Vec{}, dc.Vec{}, dc.Vec{}
-		j := 0
-		for k := 0; k < sc.total; k++ {
-			p := &base[j]
-			if j++; j == nb {
-				j = 0
+		cnt = 0
+		sAvg, sCur = dc.Vec{}, dc.Vec{}
+		// Walk the multiset cycle by cycle: the inner loop's bound is the
+		// base length (or the final partial cycle), so element addressing
+		// needs no wrap branch and profiles stream linearly.
+		for k := 0; k < sc.total; {
+			span := nb
+			if rem := sc.total - k; rem < span {
+				span = rem
 			}
-			if rng.Bernoulli(pSender) {
-				sender = append(sender, int32(k))
-				for r := 0; r < dc.NumResources; r++ {
-					sAvg[r] += p.wAvg[r]
-					sCur[r] += p.wCur[r]
-				}
-			} else {
-				for r := 0; r < dc.NumResources; r++ {
-					tAvg[r] += p.wAvg[r]
-					tCur[r] += p.wCur[r]
+			for j := 0; j < span; j++ {
+				if rng.BernoulliThresh(thresh) {
+					sender[cnt] = int32(k + j)
+					cnt++
+					p := &base[j]
+					for r := 0; r < dc.NumResources; r++ {
+						sAvg[r] += p.wAvg[r]
+						sCur[r] += p.wCur[r]
+					}
 				}
 			}
+			k += span
 		}
-		if len(sender) > 0 {
+		if cnt > 0 {
 			break
 		}
 	}
-	sc.sender = sender // keep the grown buffer for the next iteration
-	if len(sender) == 0 {
+	if cnt == 0 {
 		return
 	}
+	sender = sender[:cnt]
+	tAvg := sc.totAvg.Sub(sAvg)
+	tCur := sc.totCur.Sub(sCur)
 	// An all-sender draw leaves the recipient partition empty; training
 	// proceeds regardless — an empty virtual recipient is the legitimate
 	// (Low, Low) pre-state of an idle PM, and φ^in needs those transitions
@@ -361,14 +410,14 @@ func (l *LearnProtocol) trainOnce(rng *sim.RNG, st *NodeTables, sc *learnScratch
 	if !useAvg {
 		sBefore = sCur
 	}
-	l.updateOut(st.Out, stateOfSum(sBefore, cap), action, stateOfSum(sCur.Sub(p.wCur), cap))
+	l.updateOut(st.Out, stateOfSum(sBefore, pmCap), action, stateOfSum(sCur.Sub(p.wCur), pmCap))
 
 	// updateIN: the recipient's transition after accepting it.
 	tBefore := tAvg
 	if !useAvg {
 		tBefore = tCur
 	}
-	l.updateIn(st.In, stateOfSum(tBefore, cap), action, stateOfSum(tCur.Add(p.wCur), cap))
+	l.updateIn(st.In, stateOfSum(tBefore, pmCap), action, stateOfSum(tCur.Add(p.wCur), pmCap))
 }
 
 // stateOfSum calibrates an aggregate absolute demand vector against a PM

@@ -87,6 +87,75 @@ func BenchmarkUnifySparse(b *testing.B) {
 	}
 }
 
+// disjointPair builds a merge pair with no shared cells (300 each, union
+// 600) — the worst case for mergeTables: a full union build every time.
+func disjointPair(prec Precision) (*Table, *Table) {
+	p, q := NewP(0.5, 0.8, prec), NewP(0.5, 0.8, prec)
+	for i := 0; i < 300; i++ {
+		p.Set(State(i/81), Action(i%81), float64(i+1))
+		j := i + 3000
+		q.Set(State(j/81), Action(j%81), -float64(i+1))
+	}
+	return p, q
+}
+
+// benchMerge measures Merge(p, q) with the pair rewound to its pre-merge
+// backings after every iteration, so each iteration exercises the same merge
+// path instead of degenerating into shared-backing no-ops.
+func benchMerge(b *testing.B, p, q *Table) {
+	pb, qb := p.b, q.b
+	pb.ref.Add(1) // keep the masters alive across iterations
+	qb.ref.Add(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Merge(p, q)
+		if p.b != pb {
+			deref(p.b)
+			pb.ref.Add(1)
+			p.b = pb
+		}
+		if q.b != qb {
+			deref(q.b)
+			qb.ref.Add(1)
+			q.b = qb
+		}
+	}
+}
+
+// BenchmarkMergeTables covers mergeTables' regimes on both precision tiers:
+//
+//	aligned  — converged steady state: both cell sets alias one canonical
+//	    interned array, values differ → the pointer-equality fast path
+//	    (averageAligned into an aliasing backing, no union build).
+//	shared   — the pair already shares one backing: pure pointer compare.
+//	disjoint — no common cells: the general unionScan + unionBuild path.
+func BenchmarkMergeTables(b *testing.B) {
+	for _, prec := range []Precision{F64, F32} {
+		b.Run("aligned/"+prec.String(), func(b *testing.B) {
+			p := alignedTable(b, prec, 1)
+			q := alignedTable(b, prec, 2)
+			if &p.b.idx[0] != &q.b.idx[0] {
+				b.Fatal("setup did not produce aligned canonical backings")
+			}
+			benchMerge(b, p, q)
+		})
+		b.Run("shared/"+prec.String(), func(b *testing.B) {
+			p, q := fastPathPair(prec, 1)
+			Unify(p, q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Merge(p, q)
+			}
+		})
+		b.Run("disjoint/"+prec.String(), func(b *testing.B) {
+			p, q := disjointPair(prec)
+			benchMerge(b, p, q)
+		})
+	}
+}
+
 // BenchmarkEqual measures the cheap-exit pre-check AggProtocol runs before
 // every merge, on equal full tables (the worst case: no early exit).
 func BenchmarkEqual(b *testing.B) {

@@ -46,8 +46,8 @@ func TestPrecisionRounding(t *testing.T) {
 func TestPrecisionUpdateAccumulatesWide(t *testing.T) {
 	const alpha, gamma = 0.5, 0.8
 	tb := NewP(alpha, gamma, F32)
-	tb.Set(1, 2, 0.3)  // old value, stored rounded
-	tb.Set(4, 7, 0.7)  // row max of next state, stored rounded
+	tb.Set(1, 2, 0.3) // old value, stored rounded
+	tb.Set(4, 7, 0.7) // row max of next state, stored rounded
 	const r = 0.123456789
 	got := tb.Update(1, 2, r, 4)
 	want := f32r((1-alpha)*f32r(0.3) + alpha*(r+gamma*f32r(0.7)))

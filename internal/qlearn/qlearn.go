@@ -145,6 +145,16 @@ type backing struct {
 	// and footprint accounting doesn't count it once per aliasing backing.
 	idxShared bool
 
+	// idxHash caches the FNV-1a identity of idx (see fnvIdx); 0 means not yet
+	// computed. The cache lets converged merges reuse cell-set identities
+	// instead of rehashing thousands of cells per exchange: a union that
+	// equals one input's cell set inherits that side's hash, and a backing
+	// built against a canonical array carries the canonical hash from birth.
+	// Atomic because a backing shared by several tables can be read by
+	// concurrent sharded merges, and the lazily computed hash is written
+	// back through cellSetHash.
+	idxHash atomic.Uint64
+
 	// rowMax caches MaxKnown per in-span state (NaN = stale; nil = no cache,
 	// all rows stale). Equation 1 computes the max over the next state's row
 	// on every training update; the cache turns that from a row scan into a
@@ -308,22 +318,43 @@ var canonIdx struct {
 	seen map[uint64]struct{}
 }
 
-// canonicalIdx returns an immutable interned copy of idx when the same cell
-// set recurs, or (nil, false) for sets not worth sharing. A set is interned
-// on its second sighting — the ramp phase of aggregation produces a stream
-// of one-off unions that must not pollute the cache, while the converged
-// phase repeats a handful of shapes endlessly. Interned arrays are built
-// with cap==len so an insert's append reallocates a private copy, and their
-// contents are never written after publication, so concurrent readers need
-// no lock.
-func canonicalIdx(idx []uint16) ([]uint16, bool) {
-	if len(idx) < canonMinCells {
-		return nil, false
-	}
-	h := uint64(14695981039346656037) // FNV-1a over the cell indices
+// fnvIdx returns the FNV-1a identity of a cell-set array — the hash key of
+// the canonical-interning cache, cached per backing in idxHash.
+func fnvIdx(idx []uint16) uint64 {
+	h := uint64(14695981039346656037)
 	for _, v := range idx {
 		h ^= uint64(v)
 		h *= 1099511628211
+	}
+	return h
+}
+
+// cellSetHash returns the backing's cell-set identity, computing and caching
+// it on first use. The write-back is atomic: concurrent sharded merges may
+// fill the cache of one shared backing simultaneously, each storing the same
+// deterministic value.
+func (b *backing) cellSetHash() uint64 {
+	if h := b.idxHash.Load(); h != 0 {
+		return h
+	}
+	h := fnvIdx(b.idx)
+	b.idxHash.Store(h)
+	return h
+}
+
+// canonicalIdx returns an immutable interned copy of idx when the same cell
+// set recurs, or (nil, false) for sets not worth sharing. h must be
+// fnvIdx(idx) — callers pass their cached backing identity so converged
+// merges stop rehashing the same saturated set on every exchange. A set is
+// interned on its second sighting — the ramp phase of aggregation produces a
+// stream of one-off unions that must not pollute the cache, while the
+// converged phase repeats a handful of shapes endlessly. Interned arrays are
+// built with cap==len so an insert's append reallocates a private copy, and
+// their contents are never written after publication, so concurrent readers
+// need no lock.
+func canonicalIdx(idx []uint16, h uint64) ([]uint16, bool) {
+	if len(idx) < canonMinCells {
+		return nil, false
 	}
 	canonIdx.mu.Lock()
 	defer canonIdx.mu.Unlock()
@@ -427,6 +458,45 @@ func acquireBacking(need int, f32 bool) *backing {
 		vals = make([]float64, 0, c)
 	}
 	b.idx, b.vals, b.vals32, b.over, b.idxShared, b.f32 = idx, vals, vals32, nil, false, f32
+	b.idxHash.Store(0)
+	b.ref.Store(1)
+	b.invalidateRowMax()
+	return b
+}
+
+// acquireAliasBacking returns an unshared backing whose idx aliases the given
+// canonical (immutable, cap==len) cell-set array with identity h, assembling
+// the struct and value array from pooled parts when they fit. It is the
+// aligned merge fast path's destination: no idx array is consumed from the
+// pool and no cells are copied — the union of two backings over one canonical
+// set is that set.
+func acquireAliasBacking(canon []uint16, f32 bool, h uint64) *backing {
+	backingPool.mu.Lock()
+	var b *backing
+	if n := len(backingPool.nodes); n > 0 {
+		b = backingPool.nodes[n-1]
+		backingPool.nodes[n-1] = nil
+		backingPool.nodes = backingPool.nodes[:n-1]
+	}
+	var vals []float64
+	var vals32 []float32
+	if f32 {
+		vals32 = poolTake(&backingPool.vals32, len(canon))
+	} else {
+		vals = poolTake(&backingPool.vals, len(canon))
+	}
+	backingPool.mu.Unlock()
+	if b == nil {
+		b = &backing{}
+	}
+	if f32 && vals32 == nil {
+		vals32 = make([]float32, 0, capRound(len(canon)))
+	}
+	if !f32 && vals == nil {
+		vals = make([]float64, 0, capRound(len(canon)))
+	}
+	b.idx, b.vals, b.vals32, b.over, b.idxShared, b.f32 = canon, vals, vals32, nil, true, f32
+	b.idxHash.Store(h)
 	b.ref.Store(1)
 	b.invalidateRowMax()
 	return b
@@ -440,6 +510,7 @@ func releaseBacking(b *backing) {
 	idx, vals, vals32 := b.idx, b.vals, b.vals32
 	shared := b.idxShared
 	b.idx, b.vals, b.vals32, b.over, b.idxShared, b.f32 = nil, nil, nil, nil, false, false
+	b.idxHash.Store(0)
 	backingPool.mu.Lock()
 	if len(backingPool.nodes) < poolMax {
 		backingPool.nodes = append(backingPool.nodes, b)
@@ -477,6 +548,7 @@ func (t *Table) own(extra int) *backing {
 	if b.ref.Load() > 1 {
 		nb := acquireBacking(len(b.idx)+extra, b.f32)
 		nb.idx = append(nb.idx, b.idx...)
+		nb.idxHash.Store(b.idxHash.Load()) // same cell set, same identity
 		if b.f32 {
 			nb.vals32 = append(nb.vals32, b.vals32...)
 		} else {
@@ -594,6 +666,7 @@ func (t *Table) Set(s State, a Action, v float64) {
 		copy(b.idx[i+1:], b.idx[i:])
 		b.idx[i] = ci
 		b.idxShared = false
+		b.idxHash.Store(0) // cell set changed; identity stale
 		b.insertVal(i)
 	}
 	if cache := b.rowMax; cache != nil {
@@ -709,6 +782,29 @@ func (t *Table) MaxKnown(s State) float64 {
 // (owned backing with capacity for the touched cells) it performs no
 // allocation.
 func (t *Table) Update(s State, a Action, r float64, next State) float64 {
+	// Fast path: an in-span cell already present on an unshared backing —
+	// the common case from the second visit of a transition onward. One
+	// binary search serves both the old-value read and the store; the slow
+	// path below would run the same search three times (Get, Set, and the
+	// row-start probe inside an uncached MaxKnown).
+	if b := t.b; b != nil && inSpan(s, a) && b.ref.Load() == 1 {
+		if i, ok := b.find(uint16(int(s)*DenseSpan + int(a))); ok {
+			old := b.val(i)
+			v := t.prec.round((1-t.Alpha)*old + t.Alpha*(r+t.Gamma*t.MaxKnown(next)))
+			if cache := b.rowMax; cache != nil {
+				if rm := cache[s]; rm == rm { // cache valid (not NaN)
+					switch {
+					case v > rm:
+						cache[s] = v
+					case v < rm && old == rm:
+						cache[s] = nan
+					}
+				}
+			}
+			b.setVal(i, v)
+			return v
+		}
+	}
 	old := t.Get(s, a)
 	v := (1-t.Alpha)*old + t.Alpha*(r+t.Gamma*t.MaxKnown(next))
 	t.Set(s, a, v)
@@ -872,6 +968,7 @@ func (t *Table) Clone() *Table {
 		b := t.b
 		nb := newBacking(len(b.idx), b.f32)
 		nb.idx = append(nb.idx, b.idx...)
+		nb.idxHash.Store(b.idxHash.Load())
 		if b.f32 {
 			nb.vals32 = append(nb.vals32, b.vals32...)
 		} else {
@@ -967,6 +1064,69 @@ func overUnion(pb, qb *backing, prec Precision) map[Key]float64 {
 	return out
 }
 
+// MergeStats is a snapshot of mergeTables' outcome counters since the last
+// ResetMergeStats. The first four are the fast paths — exchanges that skipped
+// some or all of the general find/unionScan/unionBuild machinery:
+//
+//	SharedBacking — the pair already shared one backing: pure pointer
+//	    compare, nothing scanned.
+//	AlignedIdx    — both cell sets alias one canonical interned array
+//	    (the converged steady state): set comparison is a pointer compare
+//	    and the merge, when needed, averages the aligned value arrays
+//	    without rebuilding an index.
+//	EqualCollapse — identical content detected by the comparison scan; the
+//	    pair collapsed onto one backing with no value writes.
+//	AdoptedIdx    — equal cell sets with an unshared side: averages written
+//	    in place, the other table adopted the backing (no union build).
+//
+// Unions counts the residual general path (full union build), and Merges the
+// total mergeTables calls; Merges − SharedBacking − AlignedIdx −
+// EqualCollapse − AdoptedIdx − Unions is the number of one-sided adoptions
+// (one endpoint had no backing at all). AlignedIdx pairs that turn out
+// content-equal (or set-equal with an owner) are counted once, under
+// AlignedIdx, since the alignment is what made the cheap outcome possible.
+type MergeStats struct {
+	Merges        uint64
+	SharedBacking uint64
+	AlignedIdx    uint64
+	EqualCollapse uint64
+	AdoptedIdx    uint64
+	Unions        uint64
+}
+
+// FastHits returns the total number of exchanges resolved by a fast path.
+func (m MergeStats) FastHits() uint64 {
+	return m.SharedBacking + m.AlignedIdx + m.EqualCollapse + m.AdoptedIdx
+}
+
+var mergeStats struct {
+	merges, sharedBacking, alignedIdx, equalCollapse, adoptedIdx, unions atomic.Uint64
+}
+
+// ReadMergeStats returns the counters accumulated since the last reset.
+func ReadMergeStats() MergeStats {
+	return MergeStats{
+		Merges:        mergeStats.merges.Load(),
+		SharedBacking: mergeStats.sharedBacking.Load(),
+		AlignedIdx:    mergeStats.alignedIdx.Load(),
+		EqualCollapse: mergeStats.equalCollapse.Load(),
+		AdoptedIdx:    mergeStats.adoptedIdx.Load(),
+		Unions:        mergeStats.unions.Load(),
+	}
+}
+
+// ResetMergeStats zeroes the merge outcome counters. Benchmarks reset before
+// a measured phase so per-run reports are not contaminated by earlier runs in
+// the same process.
+func ResetMergeStats() {
+	mergeStats.merges.Store(0)
+	mergeStats.sharedBacking.Store(0)
+	mergeStats.alignedIdx.Store(0)
+	mergeStats.equalCollapse.Store(0)
+	mergeStats.adoptedIdx.Store(0)
+	mergeStats.unions.Store(0)
+}
+
 // unionScan is mergeTables' comparison pass over one tier's value arrays:
 // union size of the two sorted cell sets plus value equality on the shared
 // cells. The float64 instantiation is the exact scan the pre-tier merge
@@ -974,6 +1134,22 @@ func overUnion(pb, qb *backing, prec Precision) map[Key]float64 {
 func unionScan[V value](pi, qi []uint16, pvals, qvals []V) (union int, valsEqual bool) {
 	i, j := 0, 0
 	valsEqual = true
+	if len(pi) == len(qi) {
+		// Equal-length fast loop: mid-convergence merges mostly compare
+		// identical cell sets that are not (yet) pointer-aligned. Walk the
+		// common elementwise prefix with two predictable compares per cell;
+		// the general merge walk below resumes at the first set mismatch.
+		for i < len(pi) && pi[i] == qi[i] {
+			if pvals[i] != qvals[i] {
+				valsEqual = false
+			}
+			i++
+		}
+		union, j = i, i
+		if i == len(pi) {
+			return union, valsEqual
+		}
+	}
 	for i < len(pi) && j < len(qi) {
 		switch {
 		case pi[i] == qi[j]:
@@ -1001,6 +1177,51 @@ func averageInto[V value](dvals, ovals []V) {
 		if dv, ov := dvals[i], ovals[i]; dv != ov {
 			dvals[i] = V((float64(dv) + float64(ov)) / 2)
 		}
+	}
+}
+
+// valsEqualAligned reports cell-wise value equality of two aligned value
+// arrays — the comparison scan of the aligned fast path, with the same !=
+// semantics as unionScan's shared-cell compare.
+func valsEqualAligned[V value](a, b []V) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// averageAligned writes the merge of two aligned value arrays into dst:
+// per cell, the float64 midpoint with one rounding point on store when the
+// values differ, the shared value verbatim when they agree — bit-identical
+// to what unionBuild produces for a cell present on both sides.
+func averageAligned[V value](dst, a, b []V) {
+	for i := range dst {
+		v := a[i]
+		if bv := b[i]; v != bv {
+			v = V((float64(v) + float64(bv)) / 2)
+		}
+		dst[i] = v
+	}
+}
+
+// mergeValsInto writes the merged values of a union whose cell set equals pi
+// (qi ⊆ pi as sets) into dvals: one walk of pi with a match cursor over qi,
+// averaging shared cells exactly as unionBuild does. It is the value pass of
+// the superset-alias fast path, which skips rebuilding an idx array the
+// union provably equals.
+func mergeValsInto[V value](dvals []V, pi, qi []uint16, pvals, qvals []V) {
+	j := 0
+	for i := range pi {
+		v := pvals[i]
+		if j < len(qi) && qi[j] == pi[i] {
+			if qv := qvals[j]; v != qv {
+				v = V((float64(v) + float64(qv)) / 2)
+			}
+			j++
+		}
+		dvals[i] = v
 	}
 }
 
@@ -1043,6 +1264,16 @@ func unionBuild[V value](didx []uint16, dvals []V, pi, qi []uint16, pvals, qvals
 //     backing returns to the pool.
 //   - differing cell sets (or both backings shared): the union is built into
 //     a recycled or fresh backing that both tables adopt.
+//
+// Fast paths (see MergeStats) carve out the converged steady state of
+// aggregation gossip: a pair already sharing one backing is a pointer
+// compare; a pair whose idx arrays alias the same canonical interned cell
+// set skips the set comparison entirely (pointer equality of immutable
+// arrays is set equality) and, when a merge is still needed, averages the
+// aligned value arrays into a backing that aliases the same canonical set —
+// no find, no unionScan, no unionBuild; a union that provably equals one
+// side's canonical cell set aliases that array instead of rebuilding it and
+// inherits its cached FNV identity instead of rehashing.
 func mergeTables(p, q *Table) bool {
 	if p.prec != q.prec {
 		// A cross-tier merge would have to pick a rounding regime for the
@@ -1050,8 +1281,10 @@ func mergeTables(p, q *Table) bool {
 		// wiring bug, not a state to average through.
 		panic(fmt.Sprintf("qlearn: merging %s table with %s table", p.prec, q.prec))
 	}
+	mergeStats.merges.Add(1)
 	pb, qb := p.b, q.b
 	if pb == qb {
+		mergeStats.sharedBacking.Add(1)
 		return false // same backing (or both nil): already equal
 	}
 	if pb == nil {
@@ -1065,13 +1298,28 @@ func mergeTables(p, q *Table) bool {
 		return pb.len() > 0
 	}
 
-	// One comparison scan: union size, set equality, value equality.
+	// One comparison scan: union size, set equality, value equality. When
+	// both cell sets alias one immutable canonical array, the scan collapses
+	// to a value-equality walk: pointer equality is set equality. (idxShared
+	// on both sides guarantees immutability — pointer-equal idx slices alone
+	// would not, since an owned backing may overwrite its array in place.)
 	pi, qi := pb.idx, qb.idx
+	aligned := len(pi) == len(qi) && len(pi) > 0 &&
+		&pi[0] == &qi[0] && pb.idxShared && qb.idxShared
 	var union int
 	var valsEqual bool
-	if pb.f32 {
+	switch {
+	case aligned:
+		mergeStats.alignedIdx.Add(1)
+		union = len(pi)
+		if pb.f32 {
+			valsEqual = valsEqualAligned(pb.vals32, qb.vals32)
+		} else {
+			valsEqual = valsEqualAligned(pb.vals, qb.vals)
+		}
+	case pb.f32:
 		union, valsEqual = unionScan(pi, qi, pb.vals32, qb.vals32)
-	} else {
+	default:
 		union, valsEqual = unionScan(pi, qi, pb.vals, qb.vals)
 	}
 	setsEqual := union == len(pi) && union == len(qi)
@@ -1094,6 +1342,9 @@ func mergeTables(p, q *Table) bool {
 
 	if setsEqual && valsEqual && overEqual {
 		// Identical content: collapse the pair onto p's backing.
+		if !aligned {
+			mergeStats.equalCollapse.Add(1)
+		}
 		q.b = pb
 		pb.ref.Add(1)
 		deref(qb)
@@ -1113,6 +1364,9 @@ func mergeTables(p, q *Table) bool {
 			// push-pull merge hold identical content afterwards, and at
 			// cluster scale the N-fold duplication was the dominant term of
 			// pretrain's peak heap.)
+			if !aligned {
+				mergeStats.adoptedIdx.Add(1)
+			}
 			d, o, other := pb, qb, q
 			if !pOwned {
 				d, o, other = qb, pb, p
@@ -1136,25 +1390,79 @@ func mergeTables(p, q *Table) bool {
 	}
 
 	// Differing cell sets or both backings shared: build the union into a
-	// destination both tables adopt.
-	d := acquireBacking(union, pb.f32)
-	d.idx = d.idx[:union]
-	if d.f32 {
-		d.vals32 = d.vals32[:union]
-		unionBuild(d.idx, d.vals32, pi, qi, pb.vals32, qb.vals32)
-	} else {
-		d.vals = d.vals[:union]
-		unionBuild(d.idx, d.vals, pi, qi, pb.vals, qb.vals)
+	// destination both tables adopt. Three builders, cheapest applicable
+	// wins:
+	//   - aligned: the union IS the canonical set both sides alias; take a
+	//     values-only backing aliasing it and average the aligned arrays.
+	//   - superset alias: the union equals one side's canonical cell set
+	//     (the other is a subset); alias that array and merge values with a
+	//     match cursor — no idx rebuild, hash inherited.
+	//   - general: full unionBuild into a recycled array, then canonical
+	//     interning (converged unions rebuild the same saturated cell set on
+	//     every exchange; aliasing one interned copy reclaims 2 bytes/cell
+	//     per backing, cluster-wide) using the sides' cached FNV identities
+	//     when the union coincides with either cell set.
+	var d *backing
+	switch {
+	case aligned:
+		d = acquireAliasBacking(pi, pb.f32, pb.cellSetHash())
+		if d.f32 {
+			d.vals32 = d.vals32[:union]
+			averageAligned(d.vals32, pb.vals32, qb.vals32)
+		} else {
+			d.vals = d.vals[:union]
+			averageAligned(d.vals, pb.vals, qb.vals)
+		}
+	case union == len(pi) && pb.idxShared:
+		mergeStats.unions.Add(1)
+		d = acquireAliasBacking(pi, pb.f32, pb.cellSetHash())
+		if d.f32 {
+			d.vals32 = d.vals32[:union]
+			mergeValsInto(d.vals32, pi, qi, pb.vals32, qb.vals32)
+		} else {
+			d.vals = d.vals[:union]
+			mergeValsInto(d.vals, pi, qi, pb.vals, qb.vals)
+		}
+	case union == len(qi) && qb.idxShared:
+		mergeStats.unions.Add(1)
+		d = acquireAliasBacking(qi, qb.f32, qb.cellSetHash())
+		if d.f32 {
+			d.vals32 = d.vals32[:union]
+			mergeValsInto(d.vals32, qi, pi, qb.vals32, pb.vals32)
+		} else {
+			d.vals = d.vals[:union]
+			mergeValsInto(d.vals, qi, pi, qb.vals, pb.vals)
+		}
+	default:
+		mergeStats.unions.Add(1)
+		d = acquireBacking(union, pb.f32)
+		d.idx = d.idx[:union]
+		if d.f32 {
+			d.vals32 = d.vals32[:union]
+			unionBuild(d.idx, d.vals32, pi, qi, pb.vals32, qb.vals32)
+		} else {
+			d.vals = d.vals[:union]
+			unionBuild(d.idx, d.vals, pi, qi, pb.vals, qb.vals)
+		}
+		if len(d.idx) >= canonMinCells {
+			var h uint64
+			switch {
+			case union == len(pi):
+				h = pb.cellSetHash()
+			case union == len(qi):
+				h = qb.cellSetHash()
+			default:
+				h = fnvIdx(d.idx)
+			}
+			d.idxHash.Store(h)
+			if c, ok := canonicalIdx(d.idx, h); ok {
+				old := d.idx
+				d.idx, d.idxShared = c, true
+				poolPutIdx(old)
+			}
+		}
 	}
 	d.over = overUnion(pb, qb, p.prec)
-	// Converged unions rebuild the same saturated cell set on every exchange;
-	// alias it to one interned copy and recycle the freshly built array
-	// (2 bytes/cell reclaimed per backing, cluster-wide).
-	if c, ok := canonicalIdx(d.idx); ok {
-		old := d.idx
-		d.idx, d.idxShared = c, true
-		poolPutIdx(old)
-	}
 	deref(pb)
 	deref(qb)
 	p.b, q.b = d, d

@@ -13,7 +13,7 @@ import (
 //
 // RNG is not safe for concurrent use; derive one stream per goroutine.
 type RNG struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // splitmix64 advances *x and returns the next SplitMix64 output. It is the
@@ -31,12 +31,13 @@ func splitmix64(x *uint64) uint64 {
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
 	x := seed
-	for i := range r.s {
-		r.s[i] = splitmix64(&x)
-	}
+	r.s0 = splitmix64(&x)
+	r.s1 = splitmix64(&x)
+	r.s2 = splitmix64(&x)
+	r.s3 = splitmix64(&x)
 	// xoshiro must not start from the all-zero state.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
 	}
 	return r
 }
@@ -46,7 +47,7 @@ func NewRNG(seed uint64) *RNG {
 // same stream; different key tuples yield (statistically) independent ones.
 // The parent generator is not advanced.
 func (r *RNG) Derive(keys ...uint64) *RNG {
-	x := r.s[0] ^ rotl(r.s[2], 17)
+	x := r.s0 ^ rotl(r.s2, 17)
 	for _, k := range keys {
 		x ^= splitmix64(&x) ^ (k * 0xd1342543de82ef95)
 		_ = splitmix64(&x)
@@ -56,16 +57,22 @@ func (r *RNG) Derive(keys ...uint64) *RNG {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64 random bits (xoshiro256**).
+// Uint64 returns the next 64 random bits (xoshiro256**). The state lives in
+// four named fields and the rotates are hand-expanded — the same update
+// sequence as the textbook array form, phrased to fit the compiler's
+// inlining budget: this is the innermost call of every stochastic hot loop
+// (one draw per multiset element in the training kernel), where the call
+// overhead was measurable in whole-pretrain profiles.
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
+	x := r.s1 * 5
+	result := (x<<7 | x>>57) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = r.s3<<45 | r.s3>>19
 	return result
 }
 
@@ -113,8 +120,43 @@ func (r *RNG) Float64() float64 {
 // Bool returns a fair random boolean.
 func (r *RNG) Bool() bool { return r.Uint64()&1 == 1 }
 
-// Bernoulli returns true with probability p.
-func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }
+// Thresh53 converts a Bernoulli success probability into the 53-bit integer
+// threshold consumed by BernoulliThresh: the number of draw values k in
+// [0, 2⁵³) satisfying k·2⁻⁵³ < p, i.e. ⌈p·2⁵³⌉ clamped to [0, 2⁵³].
+//
+// The conversion is exactly decision-equivalent to the float compare
+// `Float64() < p`: Float64 returns (Uint64()>>11)·2⁻⁵³, the product is exact
+// (a 53-bit integer scaled by a power of two), so the compare holds iff the
+// integer draw lies below the ceiling of p·2⁵³ — which p*0x1p53 computes
+// without rounding for every p in [0, 1], powers of two being exact scale
+// factors even for subnormal p. Out-of-range arguments degenerate the same
+// way the float compare does: p ≤ 0 and NaN can never win (threshold 0),
+// p ≥ 1 always wins (threshold 2⁵³, above every draw).
+func Thresh53(p float64) uint64 {
+	if !(p > 0) { // p <= 0, or NaN
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	x := p * 0x1p53 // exact: power-of-two scaling, no rounding
+	t := uint64(x)  // floor(x); x < 2⁵³ so the conversion is in range
+	if float64(t) < x {
+		t++ // x was not integral: round the threshold up
+	}
+	return t
+}
+
+// BernoulliThresh returns true with the probability encoded by a Thresh53
+// threshold, consuming exactly one Uint64 — the same draw Bernoulli consumes.
+// Hot loops with a fixed p hoist the threshold conversion out of the loop and
+// run one shift and one integer compare per coin.
+func (r *RNG) BernoulliThresh(t uint64) bool { return r.Uint64()>>11 < t }
+
+// Bernoulli returns true with probability p. The integer-threshold compare is
+// bit-identical, draw for draw, to the former `Float64() < p` (see Thresh53)
+// while keeping the float convert/multiply off the hottest draw path.
+func (r *RNG) Bernoulli(p float64) bool { return r.Uint64()>>11 < Thresh53(p) }
 
 // NormFloat64 returns a standard normal variate (Marsaglia polar method).
 func (r *RNG) NormFloat64() float64 {

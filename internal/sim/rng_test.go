@@ -256,3 +256,78 @@ func TestBoundRNGRebindsPerEngine(t *testing.T) {
 		t.Fatalf("re-derived stream diverged: got %d want %d", back, first)
 	}
 }
+
+// floatBernoulli is the retired float-compare draw, kept verbatim as the
+// reference the integer-threshold Bernoulli must reproduce bit-identically:
+// same single Uint64 consumed, same decision for every (draw, p) pair.
+func floatBernoulli(r *RNG, p float64) bool { return r.Float64() < p }
+
+// TestBernoulliThresholdEquivalence sweeps p over a dense grid plus
+// adversarial values and asserts the threshold compare is decision-identical
+// to `Float64() < p` over pinned RNG streams — the draw-sequence contract
+// that LearnProtocol{Reference: true} (and every golden fingerprint) relies
+// on.
+func TestBernoulliThresholdEquivalence(t *testing.T) {
+	ps := []float64{
+		0, 1, -1, -0.5, 2, 1e300, -1e300,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		math.SmallestNonzeroFloat64,       // subnormal: threshold must still round up to 1
+		0x1p-53, 0x1p-53 * 2, 0x1p-53 * 3, // exactly k·2⁻⁵³: draw k must lose, k-1 win
+		math.Nextafter(0x1p-53, 0),          // just below 2⁻⁵³
+		math.Nextafter(0x1p-53, 1),          // just above 2⁻⁵³
+		math.Nextafter(3*0x1p-53, 0),        // just below 3·2⁻⁵³
+		math.Nextafter(3*0x1p-53, 1),        // just above
+		1 - 0x1p-53, math.Nextafter(1.0, 0), // largest sub-1 probabilities
+		0.15, 0.15 + 0.7*0.5, // the trainOnce pSender range
+	}
+	for p := 0.0; p <= 1.0; p += 1.0 / 512 {
+		ps = append(ps, p)
+	}
+	for _, p := range ps {
+		ref := NewRNG(101)
+		got := NewRNG(101)
+		thresh := Thresh53(p)
+		for i := 0; i < 2000; i++ {
+			want := floatBernoulli(ref, p)
+			if g := got.Bernoulli(p); g != want {
+				t.Fatalf("Bernoulli(%v) draw %d: got %v, float compare %v", p, i, g, want)
+			}
+			// The hoisted-threshold form must consume and decide identically.
+			ref2, got2 := NewRNG(uint64(i)), NewRNG(uint64(i))
+			if w, g := floatBernoulli(ref2, p), got2.BernoulliThresh(thresh); w != g {
+				t.Fatalf("BernoulliThresh(Thresh53(%v)) seed %d: got %v, want %v", p, i, g, w)
+			}
+		}
+	}
+}
+
+// TestThresh53Exact pins the threshold conversion on the boundary values the
+// equivalence argument hinges on.
+func TestThresh53Exact(t *testing.T) {
+	cases := []struct {
+		p    float64
+		want uint64
+	}{
+		{0, 0},
+		{-3, 0},
+		{math.NaN(), 0},
+		{math.Inf(-1), 0},
+		{1, 1 << 53},
+		{2, 1 << 53},
+		{math.Inf(1), 1 << 53},
+		{0.5, 1 << 52},
+		{0.25, 1 << 51},
+		{0x1p-53, 1},                     // exactly one winning draw (k=0)
+		{math.Nextafter(0x1p-53, 0), 1},  // still only k=0 wins
+		{math.SmallestNonzeroFloat64, 1}, // any p > 0 lets k=0 win
+		{math.Nextafter(0x1p-53, 1), 2},  // k=1 now wins too
+		{3 * 0x1p-53, 3},
+		{1 - 0x1p-53, 1<<53 - 1},            // every draw but the top wins
+		{math.Nextafter(1.0, 0), 1<<53 - 1}, // largest sub-1 float: 1-2⁻⁵³
+	}
+	for _, c := range cases {
+		if got := Thresh53(c.p); got != c.want {
+			t.Fatalf("Thresh53(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
